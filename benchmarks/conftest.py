@@ -1,0 +1,60 @@
+"""Shared benchmark configuration.
+
+Every figure bench runs at a laptop scale by default and writes its
+paper-style table to ``benchmarks/results/<name>.txt`` (the files
+EXPERIMENTS.md quotes).  Set ``REPRO_BENCH_SCALE=paper`` to run the paper's
+full scale (100 items, 10 000 s traces, hundreds of queries) — expect hours.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: "laptop" (default) or "paper".
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "laptop")
+
+LAPTOP = {
+    "query_counts": (5, 10, 20),
+    "mus": (1.0, 5.0, 10.0),
+    "item_count": 40,
+    "trace_length": 301,
+    "aao_query_count": 8,
+    "aao_periods": (30, 120),
+    "dissemination_counts": (5, 15),
+    "coordinator_count": 5,
+}
+
+PAPER = {
+    "query_counts": (200, 400, 600, 800, 1000),
+    "mus": (1.0, 5.0, 10.0),
+    "item_count": 100,
+    "trace_length": 10_001,
+    "aao_query_count": 10,
+    "aao_periods": (30, 120, 600, 1500),
+    "dissemination_counts": (100, 1000, 10_000),
+    "coordinator_count": 10,
+}
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return PAPER if SCALE == "paper" else LAPTOP
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_table(results_dir):
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+    return _save

@@ -1,0 +1,76 @@
+"""Figure 5 — PPQs: Dual-DAB vs Optimal Refresh across μ.
+
+Paper's findings reproduced here:
+(a) Dual-DAB reduces recomputations by >= 9x even at μ = 1;
+(b) its refresh count is only modestly higher and grows with μ;
+(c) its fidelity loss is no worse than Optimal Refresh's.
+"""
+
+import pytest
+
+from repro.experiments import run_figure5, format_table, series_to_rows
+
+
+@pytest.fixture(scope="module")
+def fig5_series(scale):
+    return run_figure5(
+        query_counts=scale["query_counts"],
+        mus=scale["mus"],
+        item_count=scale["item_count"],
+        trace_length=scale["trace_length"],
+    )
+
+
+def test_fig5_recomputations(benchmark, fig5_series, save_table, scale):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = series_to_rows(fig5_series, "recomputations", "queries")
+    save_table("fig5a_recomputations",
+               format_table(rows, "Figure 5(a): total recomputations"))
+    optimal = {p.x: p.recomputations for p in fig5_series[0].points}
+    dual_mu1 = {p.x: p.recomputations for p in fig5_series[1].points}
+    for count in scale["query_counts"]:
+        assert dual_mu1[count] * 9 <= optimal[count], \
+            "paper: >=9x fewer recomputations at mu=1"
+
+
+def test_fig5_refreshes(benchmark, fig5_series, save_table, scale):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = series_to_rows(fig5_series, "refreshes", "queries")
+    save_table("fig5b_refreshes",
+               format_table(rows, "Figure 5(b): refreshes at the coordinator"))
+    optimal = {p.x: p.refreshes for p in fig5_series[0].points}
+    for series in fig5_series[1:]:
+        for p in series.points:
+            assert optimal[p.x] <= p.refreshes * (1 + 1e-9), \
+                "Optimal Refresh is refresh-optimal"
+            assert p.refreshes <= 2.5 * optimal[p.x], \
+                "the refresh increase stays modest"
+    # refreshes grow with mu (more stringent primaries)
+    by_mu = {s.label: {p.x: p.refreshes for p in s.points} for s in fig5_series[1:]}
+    for count in scale["query_counts"]:
+        values = [by_mu[f"Dual-DAB, mu={mu:g}"][count] for mu in scale["mus"]]
+        for low, high in zip(values, values[1:]):
+            assert high >= low * (1 - 0.02)
+
+
+def test_fig5_fidelity(benchmark, fig5_series, save_table, scale):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = series_to_rows(fig5_series, "fidelity_loss_percent", "queries")
+    save_table("fig5c_fidelity_loss",
+               format_table(rows, "Figure 5(c): loss in fidelity (%)"))
+    optimal = {p.x: p.fidelity_loss_percent for p in fig5_series[0].points}
+    dual = {p.x: p.fidelity_loss_percent for p in fig5_series[1].points}
+    for count in scale["query_counts"]:
+        assert dual[count] <= optimal[count] + 0.5, \
+            "Dual-DAB fidelity is never substantially worse"
+
+
+def test_fig5_total_cost(benchmark, fig5_series, save_table, scale):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = series_to_rows(fig5_series, "total_cost", "queries")
+    save_table("fig5_total_cost",
+               format_table(rows, "Figure 5: total cost (refreshes + mu*recomputations)"))
+    optimal = {p.x: p.total_cost for p in fig5_series[0].points}
+    dual_mu1 = {p.x: p.total_cost for p in fig5_series[1].points}
+    for count in scale["query_counts"]:
+        assert dual_mu1[count] < optimal[count]

@@ -1,0 +1,81 @@
+"""Figure 6 — effect of the data dynamics model on Dual-DAB.
+
+Paper's findings:
+(a/b) the random-walk objective (λ²/b²) yields less stringent DABs ⇒ more
+      recomputations / fewer refreshes than the monotonic one;
+(c)   whatever the ddm — even with no rate information (λ = 1) — the total
+      cost stays far below Optimal Refresh ("reliance on the ddm is low").
+"""
+
+import pytest
+
+from repro.experiments import (
+    format_table,
+    run_figure5,
+    run_figure6,
+    series_to_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def fig6_series(scale):
+    return run_figure6(
+        query_counts=scale["query_counts"],
+        mus=scale["mus"][:2],
+        item_count=scale["item_count"],
+        trace_length=scale["trace_length"],
+    )
+
+
+@pytest.fixture(scope="module")
+def optimal_reference(scale):
+    series = run_figure5(query_counts=scale["query_counts"][-1:], mus=(1.0,),
+                         item_count=scale["item_count"],
+                         trace_length=scale["trace_length"])
+    return series[0].points[-1]
+
+
+def test_fig6_recomputations(benchmark, fig6_series, save_table):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = series_to_rows(fig6_series, "recomputations", "queries")
+    save_table("fig6a_recomputations",
+               format_table(rows, "Figure 6(a): recomputations by ddm"))
+
+
+def test_fig6_refreshes(benchmark, fig6_series, save_table, scale):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = series_to_rows(fig6_series, "refreshes", "queries")
+    save_table("fig6b_refreshes",
+               format_table(rows, "Figure 6(b): refreshes by ddm"))
+    by_label = {s.label: {p.x: p for p in s.points} for s in fig6_series}
+    mono = by_label["Mono, mu=1"]
+    walk = by_label["Random, mu=1"]
+    for count in scale["query_counts"]:
+        # random-walk DABs are less stringent => fewer (or equal) refreshes
+        assert walk[count].refreshes <= mono[count].refreshes * 1.1
+
+
+def test_fig6_total_cost(benchmark, fig6_series, optimal_reference, save_table, scale):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = series_to_rows(fig6_series, "total_cost", "queries")
+    save_table("fig6c_total_cost",
+               format_table(rows, "Figure 6(c): total cost by ddm"))
+    largest = scale["query_counts"][-1]
+    for series in fig6_series:
+        point = next(p for p in series.points if p.x == largest)
+        # the paper's ">= 6x better than Optimal Refresh regardless of ddm";
+        # we require a conservative 3x at bench scale.
+        assert point.total_cost * 3 <= optimal_reference.total_cost, series.label
+
+
+def test_fig6_l1_worst_of_dual_variants(benchmark, fig6_series, save_table, scale):
+    """λ = 1 discards rate information, costing more than the informed runs
+    with the same μ."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    by_label = {s.label: {p.x: p for p in s.points} for s in fig6_series}
+    l1_label = next(label for label in by_label if label.startswith("L1"))
+    mu = l1_label.split("mu=")[1]
+    informed = by_label[f"Mono, mu={mu}"]
+    l1 = by_label[l1_label]
+    largest = scale["query_counts"][-1]
+    assert informed[largest].total_cost <= l1[largest].total_cost * 1.2

@@ -1,0 +1,68 @@
+"""Figure 7 — EQI vs AAO-T for a small query set, sweeping μ.
+
+Paper's findings:
+(a) AAO-T's joint primaries are less stringent ⇒ fewer refreshes than EQI;
+(b) short periods (AAO-30) do many recomputations;
+(c) EQI's total cost is comparable to AAO's, "hence can be used in
+    practice".
+"""
+
+import pytest
+
+from repro.experiments import format_table, run_figure7, series_to_rows
+
+
+@pytest.fixture(scope="module")
+def fig7_series(scale):
+    return run_figure7(
+        mus=scale["mus"],
+        periods=scale["aao_periods"],
+        query_count=scale["aao_query_count"],
+        item_count=scale["item_count"],
+        trace_length=scale["trace_length"],
+    )
+
+
+def test_fig7_refreshes(benchmark, fig7_series, save_table, scale):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = series_to_rows(fig7_series, "refreshes", "mu")
+    save_table("fig7a_refreshes", format_table(rows, "Figure 7(a): refreshes"))
+    eqi = {p.x: p.refreshes for p in fig7_series[0].points}
+    for series in fig7_series[1:]:
+        for p in series.points:
+            assert p.refreshes <= eqi[p.x] * 1.2, \
+                f"{series.label}: AAO primaries should not be tighter than EQI"
+
+
+def test_fig7_recomputations(benchmark, fig7_series, save_table, scale):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = series_to_rows(fig7_series, "recomputations", "mu")
+    save_table("fig7b_recomputations",
+               format_table(rows, "Figure 7(b): recomputations"))
+    by_label = {s.label: s for s in fig7_series}
+    shortest = f"AAO-{min(scale['aao_periods'])}"
+    duration = scale["trace_length"] - 1
+    for p in by_label[shortest].points:
+        assert p.recomputations >= duration // min(scale["aao_periods"]), \
+            "the periodic schedule fires every T ticks"
+
+
+def test_fig7_total_cost(benchmark, fig7_series, save_table, scale):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = series_to_rows(fig7_series, "total_cost", "mu")
+    save_table("fig7c_total_cost", format_table(rows, "Figure 7(c): total cost"))
+    eqi = {p.x: p.total_cost for p in fig7_series[0].points}
+    by_label = {s.label: s for s in fig7_series}
+    shortest = f"AAO-{min(scale['aao_periods'])}"
+    longest = f"AAO-{max(scale['aao_periods'])}"
+    for p in by_label[shortest].points:
+        # frequent AAO recomputation is the expensive configuration at high mu
+        if p.x >= 5.0:
+            assert p.total_cost >= by_label[longest].points[-1].total_cost * 0.5
+    # EQI stays comparable to the best AAO-T everywhere (within 2x)
+    best_aao = {
+        mu: min(p.total_cost for s in fig7_series[1:] for p in s.points if p.x == mu)
+        for mu in scale["mus"]
+    }
+    for mu in scale["mus"]:
+        assert eqi[mu] <= best_aao[mu] * 2.0

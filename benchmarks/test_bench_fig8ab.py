@@ -1,0 +1,66 @@
+"""Figure 8(a)/(b) — general PQs (arbitrage): Half-and-Half vs Different Sum.
+
+Paper's findings: DS does no more recomputations than HH — on independent
+polynomials (8a) and dependent ones (8b) alike — with refresh counts within
+a few percent of each other.
+"""
+
+import pytest
+
+from repro.experiments import format_table, run_figure8ab, series_to_rows
+
+
+@pytest.fixture(scope="module")
+def independent_series(scale):
+    return run_figure8ab(
+        query_counts=scale["query_counts"],
+        mus=scale["mus"][:2],
+        dependent=False,
+        item_count=scale["item_count"],
+        trace_length=scale["trace_length"],
+    )
+
+
+@pytest.fixture(scope="module")
+def dependent_series(scale):
+    return run_figure8ab(
+        query_counts=scale["query_counts"],
+        mus=scale["mus"][:2],
+        dependent=True,
+        item_count=scale["item_count"],
+        trace_length=scale["trace_length"],
+    )
+
+
+def _check_ds_vs_hh(series, query_counts, slack=1.3):
+    by_label = {s.label: {p.x: p for p in s.points} for s in series}
+    mus = sorted({label.split("mu=")[1] for label in by_label})
+    for mu in mus:
+        hh = by_label[f"HH, mu={mu}"]
+        ds = by_label[f"DS, mu={mu}"]
+        for count in query_counts:
+            # DS's recomputations stay at-or-below HH's (small-count noise
+            # tolerated through `slack` and the +2 absolute allowance).
+            assert ds[count].recomputations <= hh[count].recomputations * slack + 2
+            # refresh counts stay close (paper: < 1% apart; we allow 20%)
+            assert abs(ds[count].refreshes - hh[count].refreshes) <= \
+                0.2 * hh[count].refreshes
+
+
+def test_fig8a_independent(benchmark, independent_series, save_table, scale):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    save_table("fig8a_recomputations_independent", format_table(
+        series_to_rows(independent_series, "recomputations", "queries"),
+        "Figure 8(a): recomputations, independent PQs"))
+    save_table("fig8a_refreshes_independent", format_table(
+        series_to_rows(independent_series, "refreshes", "queries"),
+        "Figure 8(a): refreshes, independent PQs"))
+    _check_ds_vs_hh(independent_series, scale["query_counts"])
+
+
+def test_fig8b_dependent(benchmark, dependent_series, save_table, scale):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    save_table("fig8b_recomputations_dependent", format_table(
+        series_to_rows(dependent_series, "recomputations", "queries"),
+        "Figure 8(b): recomputations, dependent PQs"))
+    _check_ds_vs_hh(dependent_series, scale["query_counts"])

@@ -1,0 +1,46 @@
+"""Figure 8(c) — PPQs on a dissemination network of coordinators.
+
+Paper's finding: the recompute-per-refresh baseline (WSDAB) does ~604 735
+recomputations for 10 000 queries on a 10-coordinator network — orders of
+magnitude above Dual-DAB — "reaffirming that for large numbers of PQs, an
+approach that reduces the number of recomputations is absolutely
+essential".
+"""
+
+import pytest
+
+from repro.experiments import format_table, run_figure8c, series_to_rows
+
+
+@pytest.fixture(scope="module")
+def fig8c_series(scale):
+    return run_figure8c(
+        query_counts=scale["dissemination_counts"],
+        coordinator_count=scale["coordinator_count"],
+        source_count=2,
+        item_count=scale["item_count"],
+        trace_length=scale["trace_length"],
+    )
+
+
+def test_fig8c_recomputations(benchmark, fig8c_series, save_table, scale):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    save_table("fig8c_recomputations", format_table(
+        series_to_rows(fig8c_series, "recomputations", "queries"),
+        "Figure 8(c): recomputations on the dissemination network"))
+    by_label = {s.label: {p.x: p for p in s.points} for s in fig8c_series}
+    for count in scale["dissemination_counts"]:
+        dual = by_label["Dual-DAB"][count]
+        wsdab = by_label["WSDAB"][count]
+        assert wsdab.recomputations >= 10 * max(dual.recomputations, 1), \
+            "the order-of-magnitude gap of Fig. 8(c)"
+
+
+def test_fig8c_gap_grows_with_queries(benchmark, fig8c_series, save_table, scale):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    by_label = {s.label: {p.x: p for p in s.points} for s in fig8c_series}
+    counts = scale["dissemination_counts"]
+    wsdab = [by_label["WSDAB"][c].recomputations for c in counts]
+    # baseline recomputations scale up with query count
+    for low, high in zip(wsdab, wsdab[1:]):
+        assert high > low

@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the GP substrate (pytest-benchmark)."""
+
+import pytest
+
+from repro.gp import GeometricProgram, Monomial
+from repro.queries import parse_query
+from repro.queries.deviation import deviation_posynomial
+
+
+@pytest.fixture(scope="module")
+def wide_program():
+    """A 20-variable budget program resembling one QAB constraint."""
+    variables = [Monomial.variable(f"t{i}") for i in range(20)]
+    objective = variables[0] ** -1
+    for v in variables[1:]:
+        objective = objective + 1 / v
+    gp = GeometricProgram(objective=objective)
+    total = variables[0]
+    for v in variables[1:]:
+        total = total + v
+    gp.add_constraint(total, 20.0)
+    return gp
+
+
+def test_bench_gp_solve_20_vars(benchmark, wide_program):
+    result = benchmark(wide_program.solve)
+    assert result.report.is_optimal
+
+
+def test_bench_gp_warm_solve(benchmark, wide_program):
+    warm = wide_program.solve().values
+    result = benchmark(wide_program.solve, initial=warm)
+    assert result.report.is_optimal
+
+
+def test_bench_posynomial_product(benchmark):
+    x, y = Monomial.variable("x"), Monomial.variable("y")
+    p = (x + y + 1) ** 3
+
+    def multiply():
+        return p * p
+
+    q = benchmark(multiply)
+    assert len(q) >= len(p)
+
+
+def test_bench_deviation_expansion(benchmark):
+    """Expansion cost for a 14-item portfolio query — runs on every DAB
+    recomputation, so it must stay cheap."""
+    names = [f"x{i}" for i in range(14)]
+    body = " + ".join(f"{i + 1} {a}*{b}" for i, (a, b)
+                      in enumerate(zip(names[::2], names[1::2])))
+    query = parse_query(body, qab=10.0)
+    values = {name: 50.0 + i for i, name in enumerate(names)}
+
+    posy = benchmark(deviation_posynomial, query.terms, values, True)
+    assert len(posy) > 0

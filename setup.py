@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has no network access and no `wheel` package, so
+PEP 660 editable installs (which shell out to `bdist_wheel`) fail.  This shim
+lets `pip install -e . --no-use-pep517 --no-build-isolation` work offline.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,284 @@
+"""Command-line interface.
+
+Four subcommands mirror the library's workflow::
+
+    repro plan "x*y : 5" --values x=2,y=2 --rates x=1,y=1 --mu 5
+    repro simulate --queries 10 --items 30 --duration 300 --algorithm dual_dab
+    repro figures fig5 --queries 5,10 --items 30 --trace-length 201
+    repro traces --items 3 --length 10 --kind gbm
+
+``python -m repro ...`` works identically.  Every command prints plain
+text; exit code 0 on success, 2 on argument errors (argparse convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.exceptions import ReproError
+
+
+def _parse_kv(text: str, label: str) -> Dict[str, float]:
+    """Parse ``"x=2,y=3.5"`` into a dict; raises SystemExit(2) on junk."""
+    out: Dict[str, float] = {}
+    if not text:
+        return out
+    for piece in text.split(","):
+        if "=" not in piece:
+            raise SystemExit(f"error: {label} expects name=value pairs, got {piece!r}")
+        name, _, value = piece.partition("=")
+        try:
+            out[name.strip()] = float(value)
+        except ValueError:
+            raise SystemExit(f"error: bad number in {label}: {piece!r}")
+    return out
+
+
+def _parse_int_list(text: str) -> List[int]:
+    return [int(p) for p in text.split(",") if p]
+
+
+# ---------------------------------------------------------------------------
+# plan
+# ---------------------------------------------------------------------------
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    from repro.filters import CostModel
+    from repro.filters.heuristics import dispatch_planner
+    from repro.queries import parse_query
+
+    query = parse_query(args.query, qab=args.qab)
+    values = _parse_kv(args.values, "--values")
+    missing = [n for n in query.variables if n not in values]
+    if missing:
+        raise SystemExit(f"error: no values for items: {', '.join(missing)}")
+    rates = _parse_kv(args.rates, "--rates")
+    model = CostModel(ddm=args.ddm, rates=rates, recompute_cost=args.mu)
+    planner = dispatch_planner(model, dual=not args.single_dab,
+                               heuristic=args.heuristic)
+    plan = planner.plan(query, values)
+
+    print(f"query: {query}")
+    print(f"algorithm: {'optimal refresh' if args.single_dab else 'dual-DAB'} "
+          f"/ {args.heuristic} (mu={args.mu:g}, ddm={model.ddm.value})")
+    print(f"{'item':>10s} {'value':>12s} {'primary b':>12s} {'secondary c':>12s}")
+    for item in sorted(plan.primary):
+        secondary = plan.secondary[item] if plan.secondary else float("nan")
+        print(f"{item:>10s} {values[item]:12.4f} {plan.primary[item]:12.6f} "
+              f"{secondary:12.6f}")
+    if plan.secondary is not None:
+        print(f"estimated recomputation rate R = {plan.recompute_rate:.6f}/tick")
+    print(f"estimated refresh rate = "
+          f"{model.estimated_refresh_rate(plan.primary):.6f}/tick")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# simulate
+# ---------------------------------------------------------------------------
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.simulation import SimulationConfig, run_simulation
+    from repro.workloads import scaled_scenario
+
+    scenario = scaled_scenario(
+        query_count=args.queries, item_count=args.items,
+        trace_length=args.duration + 1, source_count=args.sources,
+        query_kind=args.workload, seed=args.seed,
+    )
+    config = SimulationConfig(
+        queries=scenario.queries, traces=scenario.traces,
+        algorithm=args.algorithm, ddm=args.ddm, recompute_cost=args.mu,
+        duration=args.duration, source_count=args.sources, seed=args.seed,
+        fidelity_interval=args.fidelity_interval, zero_delay=args.zero_delay,
+        aao_period=args.aao_period,
+    )
+    result = run_simulation(config)
+    m = result.metrics
+    print(f"algorithm={args.algorithm} queries={args.queries} items={args.items} "
+          f"duration={args.duration}s mu={args.mu:g} seed={args.seed}")
+    print(f"refreshes            {m.refreshes}")
+    print(f"recomputations       {m.recomputations}")
+    print(f"total cost           {m.total_cost:.0f}")
+    print(f"fidelity loss        {m.fidelity_loss_percent:.3f}%")
+    print(f"user notifications   {m.user_notifications}")
+    print(f"DAB-change messages  {m.dab_change_messages}")
+    print(f"GP solves            {m.gp_solves} "
+          f"(cache hits {result.cache_hits})")
+    print(f"wall time            {result.wall_seconds:.2f}s")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# figures
+# ---------------------------------------------------------------------------
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        format_table,
+        run_figure5,
+        run_figure6,
+        run_figure7,
+        run_figure8ab,
+        run_figure8c,
+        run_sharfman_comparison,
+        run_signomial_comparison,
+        run_solver_timing,
+        series_to_rows,
+    )
+
+    counts = tuple(_parse_int_list(args.queries))
+    mus = tuple(float(m) for m in args.mus.split(","))
+    common = dict(item_count=args.items, trace_length=args.trace_length,
+                  seed=args.seed)
+
+    if args.figure == "fig5":
+        series = run_figure5(query_counts=counts, mus=mus, **common)
+        for metric in ("recomputations", "refreshes", "fidelity_loss_percent",
+                       "total_cost"):
+            print(format_table(series_to_rows(series, metric, "queries"),
+                               f"Figure 5 — {metric}"))
+            print()
+    elif args.figure == "fig6":
+        series = run_figure6(query_counts=counts, mus=mus[:2], **common)
+        for metric in ("recomputations", "refreshes", "total_cost"):
+            print(format_table(series_to_rows(series, metric, "queries"),
+                               f"Figure 6 — {metric}"))
+            print()
+    elif args.figure == "fig7":
+        series = run_figure7(mus=mus, query_count=counts[0] if counts else 8,
+                             **common)
+        for metric in ("refreshes", "recomputations", "total_cost"):
+            print(format_table(series_to_rows(series, metric, "mu"),
+                               f"Figure 7 — {metric}"))
+            print()
+    elif args.figure in ("fig8a", "fig8b"):
+        series = run_figure8ab(query_counts=counts, mus=mus[:2],
+                               dependent=(args.figure == "fig8b"), **common)
+        print(format_table(series_to_rows(series, "recomputations", "queries"),
+                           f"Figure 8({args.figure[-1]}) — recomputations"))
+    elif args.figure == "fig8c":
+        series = run_figure8c(query_counts=counts, **common)
+        print(format_table(series_to_rows(series, "recomputations", "queries"),
+                           "Figure 8(c) — recomputations"))
+    elif args.figure == "sharfman":
+        print(format_table(run_sharfman_comparison(), "Comparison with [5]"))
+    elif args.figure == "signomial":
+        rows = run_signomial_comparison(
+            query_count=counts[0] if counts else 8,
+            item_count=args.items, trace_length=args.trace_length,
+            seed=args.seed)
+        print(format_table(rows, "Extension: signomial planner vs HH/DS"))
+    elif args.figure == "timing":
+        timing = run_solver_timing(query_count=counts[0] if counts else 8,
+                                   item_count=args.items)
+        for key, value in timing.items():
+            print(f"{key:30s} {value:10.2f} ms")
+    else:  # pragma: no cover - argparse choices prevent this
+        raise SystemExit(f"error: unknown figure {args.figure!r}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# traces
+# ---------------------------------------------------------------------------
+
+def cmd_traces(args: argparse.Namespace) -> int:
+    from repro.workloads import paper_registry, paper_traces
+
+    registry = paper_registry(args.items)
+    traces = paper_traces(registry, args.length, kind=args.kind, seed=args.seed)
+    names = traces.items
+    print("tick," + ",".join(names))
+    for tick in range(args.length):
+        row = [f"{traces[name].at(tick):.6f}" for name in names]
+        print(f"{tick}," + ",".join(row))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser wiring
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Polynomial continuous queries over dynamic data "
+                    "(Shah & Ramamritham, ICDE 2008 — reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="compute DABs for one query")
+    plan.add_argument("query", help='e.g. "x*y : 5" or "3 x*y - 2 u*v : 5"')
+    plan.add_argument("--qab", type=float, default=None,
+                      help="accuracy bound (overrides the ': B' in the query)")
+    plan.add_argument("--values", required=True, help="x=2,y=2")
+    plan.add_argument("--rates", default="", help="x=1,y=1 (default: 1 each)")
+    plan.add_argument("--mu", type=float, default=5.0,
+                      help="recomputation cost in messages")
+    plan.add_argument("--ddm", choices=["monotonic", "random_walk"],
+                      default="monotonic")
+    plan.add_argument("--single-dab", action="store_true",
+                      help="Optimal Refresh instead of Dual-DAB")
+    plan.add_argument("--heuristic", choices=["different_sum", "half_and_half"],
+                      default="different_sum")
+    plan.set_defaults(func=cmd_plan)
+
+    simulate = sub.add_parser("simulate", help="run a trace-driven simulation")
+    simulate.add_argument("--queries", type=int, default=10)
+    simulate.add_argument("--items", type=int, default=30)
+    simulate.add_argument("--duration", type=int, default=300)
+    simulate.add_argument("--sources", type=int, default=8)
+    simulate.add_argument("--algorithm", default="dual_dab",
+                          choices=["optimal_refresh", "dual_dab", "half_and_half",
+                                   "different_sum", "signomial",
+                                   "sharfman_baseline", "uniform_baseline",
+                                   "aao_t", "laq"])
+    simulate.add_argument("--workload", choices=["portfolio", "arbitrage"],
+                          default="portfolio")
+    simulate.add_argument("--ddm", choices=["monotonic", "random_walk"],
+                          default="monotonic")
+    simulate.add_argument("--mu", type=float, default=5.0)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--fidelity-interval", type=int, default=2)
+    simulate.add_argument("--zero-delay", action="store_true")
+    simulate.add_argument("--aao-period", type=int, default=None)
+    simulate.set_defaults(func=cmd_simulate)
+
+    figures = sub.add_parser("figures", help="regenerate a paper figure/table")
+    figures.add_argument("figure", choices=["fig5", "fig6", "fig7", "fig8a",
+                                            "fig8b", "fig8c", "sharfman",
+                                            "signomial", "timing"])
+    figures.add_argument("--queries", default="5,10",
+                         help="comma-separated query counts (x-axis)")
+    figures.add_argument("--mus", default="1,5")
+    figures.add_argument("--items", type=int, default=30)
+    figures.add_argument("--trace-length", type=int, default=201)
+    figures.add_argument("--seed", type=int, default=0)
+    figures.set_defaults(func=cmd_figures)
+
+    traces = sub.add_parser("traces", help="print synthetic traces as CSV")
+    traces.add_argument("--items", type=int, default=3)
+    traces.add_argument("--length", type=int, default=10)
+    traces.add_argument("--kind", choices=["gbm", "random_walk", "monotonic"],
+                        default="gbm")
+    traces.add_argument("--seed", type=int, default=0)
+    traces.set_defaults(func=cmd_traces)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Experiment runners reproducing the paper's figures and tables."""
+
+from repro.experiments.figures import (
+    ExperimentPoint,
+    ExperimentSeries,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure8ab,
+    run_figure8c,
+    run_sharfman_comparison,
+    run_signomial_comparison,
+    run_solver_timing,
+)
+from repro.experiments.reporting import format_table, rows_to_csv, series_to_rows
+
+__all__ = [
+    "ExperimentPoint",
+    "ExperimentSeries",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8ab",
+    "run_figure8c",
+    "run_sharfman_comparison",
+    "run_signomial_comparison",
+    "run_solver_timing",
+    "format_table",
+    "rows_to_csv",
+    "series_to_rows",
+]

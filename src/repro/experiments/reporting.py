@@ -1,0 +1,86 @@
+"""Plain-text reporting of experiment series.
+
+The benches print the same rows the paper plots; these helpers keep the
+formatting in one place and give tests something structured to assert on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.figures import ExperimentSeries
+
+
+def series_to_rows(series: Sequence[ExperimentSeries], metric: str,
+                   x_label: str = "x") -> List[Dict[str, float]]:
+    """Pivot curves into rows ``{x_label: x, <label>: value, ...}``."""
+    xs: List[float] = []
+    for curve in series:
+        for point in curve.points:
+            if point.x not in xs:
+                xs.append(point.x)
+    xs.sort()
+    rows = []
+    for x in xs:
+        row: Dict[str, float] = {x_label: x}
+        for curve in series:
+            for point in curve.points:
+                if point.x == x:
+                    row[curve.label] = getattr(point, metric)
+        rows.append(row)
+    return rows
+
+
+def rows_to_csv(rows: Sequence[Dict[str, float]]) -> str:
+    """Rows as CSV text (stable column order: first-seen across rows);
+    missing cells stay empty."""
+    if not rows:
+        return ""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def fmt(value: object) -> str:
+        if value is None:
+            return ""
+        if isinstance(value, float):
+            return f"{value:.10g}"
+        return str(value)
+
+    lines = [",".join(columns)]
+    for row in rows:
+        lines.append(",".join(fmt(row.get(c)) for c in columns))
+    return "\n".join(lines)
+
+
+def format_table(rows: Sequence[Dict[str, float]], title: str = "") -> str:
+    """Render rows as an aligned ASCII table."""
+    if not rows:
+        return title
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {c: len(c) for c in columns}
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.6g}"
+        return str(value)
+
+    rendered = [[fmt(row.get(c, "")) for c in columns] for row in rows]
+    for cells in rendered:
+        for column, cell in zip(columns, cells):
+            widths[column] = max(widths[column], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(c.ljust(widths[c]) for c in columns))
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for cells in rendered:
+        lines.append(" | ".join(cell.ljust(widths[column])
+                                for column, cell in zip(columns, cells)))
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Baseline DAB-assignment schemes the paper compares against.
+
+* :class:`UniformAllocationBaseline` — no optimisation at all: the QAB is
+  split equally across the query's terms and each term's share is met with
+  equal per-item movement.  The "do the obvious thing" reference point.
+* :class:`SharfmanStyleBaseline` — models the adapted geometric approach of
+  Sharfman, Schuster & Keren (SIGMOD 2006) as the paper characterises it in
+  Section V: *"instead of one necessary and sufficient condition (Equation
+  1) we have to solve n sufficient conditions — one per data item. This
+  results in more stringent DABs."*  Each item gets ``B / n`` of the bound
+  and its DAB is the largest width whose *individual* worst-case effect on
+  the query stays within that share.  (Also the "WSDAB" configuration of
+  Figure 8(c).)
+
+Both produce single-DAB assignments: like Optimal Refresh they must be
+recomputed on every refresh, which is exactly why Figure 8(c)'s
+recomputation counts explode.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional
+
+from repro.exceptions import FilterError
+from repro.filters.assignment import DABAssignment
+from repro.filters.cost_model import CostModel
+from repro.queries.deviation import max_query_deviation, max_term_deviation
+from repro.queries.polynomial import PolynomialQuery
+
+#: Bisection tolerance relative to the initial bracket.
+_BISECT_REL_TOL = 1e-10
+
+
+def _solve_width(budget: float, deviation_at) -> float:
+    """Largest ``b`` with ``deviation_at(b) <= budget`` via bracket+bisect.
+
+    ``deviation_at`` must be continuous, increasing and 0 at 0 — true for
+    every worst-case deviation in this package.
+    """
+    if budget <= 0.0:
+        raise FilterError(f"deviation budget must be positive, got {budget!r}")
+    low, high = 0.0, 1.0
+    # Grow the bracket until the budget is exceeded (cap to avoid runaway
+    # on degenerate inputs, e.g. items with near-zero weight).
+    for _ in range(200):
+        if deviation_at(high) >= budget:
+            break
+        low, high = high, high * 2.0
+    else:
+        return high  # deviation never reaches the budget: effectively unbounded
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        if deviation_at(mid) <= budget:
+            low = mid
+        else:
+            high = mid
+        if high - low <= _BISECT_REL_TOL * max(high, 1.0):
+            break
+    return low if low > 0.0 else high * 0.5
+
+
+class UniformAllocationBaseline:
+    """Split the QAB equally over terms; within a term move items equally."""
+
+    def __init__(self, cost_model: Optional[CostModel] = None):
+        # The cost model is unused (no rate information) but accepted so the
+        # baseline is drop-in compatible with the planner protocol.
+        self.cost_model = cost_model
+
+    def plan(self, query: PolynomialQuery, values: Mapping[str, float]) -> DABAssignment:
+        share = query.qab / len(query.terms)
+        primary: Dict[str, float] = {}
+        for term in query.terms:
+            width = _solve_width(
+                share,
+                lambda b, t=term: max_term_deviation(
+                    t, values, {name: b for name in t.variables}
+                ),
+            )
+            for name in term.variables:
+                primary[name] = min(primary.get(name, width), width)
+        return DABAssignment(
+            primary=primary,
+            secondary=None,
+            reference_values={name: float(values[name]) for name in primary},
+            objective=float("nan"),
+        )
+
+
+class SharfmanStyleBaseline:
+    """Per-item sufficient conditions via a uniform multiplicative split.
+
+    The QAB is divided equally over the terms; within a term ``w·Π x_i^{p_i}``
+    whose share allows a relative growth ``ρ = share / (|w|·Π V_i^{p_i})``,
+    every item is allotted the same growth factor ``g = (1+ρ)^{1/deg}`` so
+    that ``Π (V_i(1+r_i))^{p_i} = Π V_i^{p_i} · (1+ρ)`` exactly, i.e.
+    ``b_i = V_i (g - 1)``.  Items in several terms take the minimum.
+
+    This is *sound* (the per-item conditions jointly imply Eq. 1) but — like
+    the method of [5] as the paper characterises it — it decomposes the one
+    necessary-and-sufficient condition into n per-item sufficient ones and
+    ignores rate-of-change information, so its refresh cost is never below
+    Optimal Refresh's and typically well above it under heterogeneous λ.
+    """
+
+    def __init__(self, cost_model: Optional[CostModel] = None):
+        self.cost_model = cost_model
+
+    def plan(self, query: PolynomialQuery, values: Mapping[str, float]) -> DABAssignment:
+        share = query.qab / len(query.terms)
+        primary: Dict[str, float] = {}
+        for term in query.terms:
+            base = 1.0
+            for name, power in term.key:
+                value = float(values[name])
+                if value <= 0.0:
+                    raise FilterError(
+                        f"baseline requires positive item values; {name!r} = {value!r}"
+                    )
+                base *= value ** power
+            relative_budget = share / (abs(term.weight) * base)
+            growth = (1.0 + relative_budget) ** (1.0 / term.degree)
+            for name, _power in term.key:
+                width = float(values[name]) * (growth - 1.0)
+                primary[name] = min(primary.get(name, width), width)
+        return DABAssignment(
+            primary=primary,
+            secondary=None,
+            reference_values={name: float(values[name]) for name in primary},
+            objective=float("nan"),
+        )

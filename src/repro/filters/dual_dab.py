@@ -1,0 +1,195 @@
+"""The Dual-DAB approach (paper Section III-A.2–III-A.5).
+
+Each item gets *two* bounds: a primary DAB ``b`` (the push filter at the
+source, slightly more stringent than refresh-optimal) and a secondary DAB
+``c >= b`` (checked only at the coordinator) defining the window of values
+over which the primaries remain valid.  The tradeoff constant μ — the
+message-cost of one recomputation — couples refreshes and recomputations in
+a single objective:
+
+    minimise    sum_i λ_i / b_i  +  μ · R
+    subject to  sum_t w_t (prod (V_i+c_i+b_i)^{p_i} - prod (V_i+c_i)^{p_i}) <= B
+                b_i <= c_i                    for every item
+                λ_i / c_i <= R                (recomputation-rate envelope)
+                c_i <= V_i                    (window stays positive)
+
+(For the random-walk ddm the λ/b and λ/c terms become λ²/b² and λ²/c².)
+All pieces are posynomials/monomials, so the problem is a geometric program.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.exceptions import NotPositiveCoefficientError
+from repro.gp.monomial import Monomial
+from repro.gp.posynomial import Posynomial, substitute
+from repro.gp.program import GeometricProgram
+from repro.filters.assignment import DABAssignment
+from repro.filters.cost_model import CostModel
+from repro.filters.optimal_refresh import _require_ppq
+from repro.queries.deviation import (
+    dual_dab_condition,
+    primary_variable,
+    secondary_variable,
+)
+from repro.queries.polynomial import PolynomialQuery
+
+#: GP variable holding the recomputation rate R.
+RECOMPUTE_RATE_VARIABLE = "R__rate"
+
+
+def build_dual_dab_program(
+    query: PolynomialQuery,
+    values: Mapping[str, float],
+    cost_model: CostModel,
+    rate_variable: str = RECOMPUTE_RATE_VARIABLE,
+    constrain_window: bool = True,
+    recompute_envelope: str = "sum",
+) -> GeometricProgram:
+    """Construct the dual-DAB GP for one PPQ (exposed for AAO, which embeds
+    per-query copies of these constraints in a joint program).
+
+    ``recompute_envelope`` selects how the recomputation rate ``R`` bounds
+    the per-item window-crossing rates:
+
+    * ``"max"`` — the paper's formulation, ``λ_i / c_i <= R`` per item
+      (exact for deterministic monotonic drift, where the first window
+      crossing is the fastest item's);
+    * ``"sum"`` — the union bound ``Σ_i λ_i / c_i <= R`` (each item's
+      crossings can independently trigger a recomputation, the behaviour
+      real fluctuating traces show).  Both are posynomial-representable;
+      "sum" prices window width into the b/c budget split correctly under
+      trace-driven data and is the default.
+    """
+    if recompute_envelope not in ("max", "sum"):
+        raise ValueError(f"recompute_envelope must be 'max' or 'sum', "
+                         f"got {recompute_envelope!r}")
+    items = query.variables
+    rate_var = Monomial.variable(rate_variable)
+
+    objective = (
+        cost_model.refresh_objective(items)
+        + Monomial(max(cost_model.recompute_cost, 1e-9), {rate_variable: 1.0})
+    )
+    program = GeometricProgram(objective=objective)
+    program.add_constraint(dual_dab_condition(query.terms, values, query.qab),
+                           1.0, name="qab")
+    if recompute_envelope == "sum":
+        program.add_constraint(
+            Posynomial([cost_model.recompute_rate_monomial(name) for name in items])
+            / rate_var,
+            1.0, name="recompute",
+        )
+    for name in items:
+        b = Monomial.variable(primary_variable(name))
+        c = Monomial.variable(secondary_variable(name))
+        program.add_constraint(b / c, 1.0, name=f"order[{name}]")
+        if recompute_envelope == "max":
+            program.add_constraint(cost_model.recompute_rate_monomial(name) / rate_var,
+                                   1.0, name=f"recompute[{name}]")
+        if constrain_window:
+            # Keep the lower window edge V - c non-negative so that the
+            # implied Eq. 3 (downward drift) stays meaningful on positive data.
+            program.add_constraint(c / float(values[name]), 1.0, name=f"window[{name}]")
+    return program
+
+
+def widen_secondary(
+    query: PolynomialQuery,
+    values: Mapping[str, float],
+    primary: Mapping[str, float],
+    cost_model: CostModel,
+    constrain_window: bool = True,
+    initial: Optional[Mapping[str, float]] = None,
+) -> Dict[str, float]:
+    """Second-pass window widening: with the primary DABs fixed at ``b*``,
+    choose the secondary DABs minimising the *union-bound* recomputation
+    rate ``sum_i λ_i / c_i`` subject to the same QAB condition.
+
+    The paper's formulation constrains only ``R = max_i λ_i / c_i``, which
+    leaves the non-binding ``c_i`` degenerate — an interior-point solver
+    (the paper's CVXOPT) lands on generous windows, an active-set solver
+    parks them at their lower bound.  This pass removes the degeneracy
+    deterministically, never touching refresh optimality (``b*`` is fixed)
+    and never loosening the QAB guarantee.
+    """
+    items = query.variables
+    fixed = {primary_variable(name): float(primary[name]) for name in items}
+    objective = Posynomial([
+        Monomial(max(cost_model.rate_of(name), 1e-12), {secondary_variable(name): -1.0})
+        for name in items
+    ])
+    program = GeometricProgram(objective=objective)
+    condition = substitute(
+        dual_dab_condition(query.terms, values, query.qab), fixed
+    )
+    program.add_constraint(condition, 1.0, name="qab")
+    for name in items:
+        c = Monomial.variable(secondary_variable(name))
+        program.add_constraint(float(primary[name]) / c, 1.0, name=f"order[{name}]")
+        if constrain_window:
+            program.add_constraint(c / float(values[name]), 1.0, name=f"window[{name}]")
+    solution = program.solve(initial=initial)
+    secondary = {name: solution.values[secondary_variable(name)] for name in items}
+    for name in items:
+        if secondary[name] < primary[name]:
+            secondary[name] = float(primary[name])
+    return secondary
+
+
+class DualDABPlanner:
+    """Primary+secondary DAB planner for PPQs (the paper's main algorithm).
+
+    ``widen_windows`` enables the second-pass secondary-DAB widening (see
+    :func:`widen_secondary`); disable it to study the raw formulation.
+    """
+
+    def __init__(self, cost_model: CostModel, constrain_window: bool = True,
+                 widen_windows: bool = True, recompute_envelope: str = "sum"):
+        self.cost_model = cost_model
+        self.constrain_window = constrain_window
+        self.widen_windows = widen_windows
+        self.recompute_envelope = recompute_envelope
+        self._warm_starts: Dict[str, Dict[str, float]] = {}
+
+    def plan(self, query: PolynomialQuery, values: Mapping[str, float]) -> DABAssignment:
+        """Compute primary and secondary DABs at the given item values.
+
+        The returned assignment stays valid while every item remains within
+        ``reference ± secondary``; only then must this method be called
+        again (the coordinator's recompute policy enforces this).
+        """
+        _require_ppq(query, "DualDABPlanner")
+        items = query.variables
+
+        program = build_dual_dab_program(
+            query, values, self.cost_model, constrain_window=self.constrain_window,
+            recompute_envelope=self.recompute_envelope,
+        )
+        solution = program.solve(initial=self._warm_starts.get(query.name))
+        self._warm_starts[query.name] = dict(solution.values)
+
+        primary = {name: solution.values[primary_variable(name)] for name in items}
+        secondary = {name: solution.values[secondary_variable(name)] for name in items}
+        # Numerical guard: the GP keeps b <= c only to solver tolerance.
+        for name in items:
+            if secondary[name] < primary[name]:
+                secondary[name] = primary[name]
+        if self.widen_windows:
+            secondary = widen_secondary(
+                query, values, primary, self.cost_model,
+                constrain_window=self.constrain_window,
+                initial=self._warm_starts.get(query.name),
+            )
+        return DABAssignment(
+            primary=primary,
+            secondary=secondary,
+            reference_values={name: float(values[name]) for name in items},
+            recompute_rate=solution.values[RECOMPUTE_RATE_VARIABLE],
+            objective=solution.objective,
+        )
+
+    def clear_warm_starts(self) -> None:
+        """Drop cached solver starts (per-query); next solves run cold."""
+        self._warm_starts.clear()

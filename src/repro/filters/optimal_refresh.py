@@ -1,0 +1,71 @@
+"""Optimal Refresh (paper Section III-A.1).
+
+For a positive-coefficient polynomial query, choose single DABs that
+minimise the estimated refresh rate subject to the necessary-and-sufficient
+QAB condition (Eq. 1, generalised to any PPQ):
+
+    minimise    sum_i λ_i / b_i            (monotonic ddm; λ²/b² for RW)
+    subject to  sum_t w_t (prod (V_i + b_i)^{p_i} - prod V_i^{p_i}) <= B
+
+This is optimal in refreshes but, because the constraint depends on the
+current values ``V_i``, *every* refresh arriving at the coordinator
+invalidates the plan and forces a recomputation — the behaviour the
+Dual-DAB approach then improves on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.exceptions import NotPositiveCoefficientError
+from repro.gp.program import GeometricProgram
+from repro.filters.assignment import DABAssignment
+from repro.filters.cost_model import CostModel
+from repro.queries.deviation import deviation_posynomial, primary_variable
+from repro.queries.polynomial import PolynomialQuery
+
+
+def _require_ppq(query: PolynomialQuery, planner: str) -> None:
+    if not query.is_positive_coefficient:
+        raise NotPositiveCoefficientError(
+            f"{planner} handles positive-coefficient queries only; "
+            f"{query.name} has negative terms — use HalfAndHalfPlanner or "
+            "DifferentSumPlanner for general polynomials"
+        )
+
+
+class OptimalRefreshPlanner:
+    """Refresh-optimal single-DAB planner for PPQs."""
+
+    def __init__(self, cost_model: CostModel):
+        self.cost_model = cost_model
+        self._warm_starts: Dict[str, Dict[str, float]] = {}
+
+    def plan(self, query: PolynomialQuery, values: Mapping[str, float]) -> DABAssignment:
+        """Compute the refresh-optimal DABs at the given item values.
+
+        Returns a single-DAB assignment (``secondary=None``): the caller
+        must recompute it whenever any input item is refreshed.
+        """
+        _require_ppq(query, "OptimalRefreshPlanner")
+        items = query.variables
+
+        program = GeometricProgram(objective=self.cost_model.refresh_objective(items))
+        condition = deviation_posynomial(query.terms, values, include_secondary=False)
+        program.add_constraint(condition / query.qab, 1.0, name="qab")
+
+        solution = program.solve(initial=self._warm_starts.get(query.name))
+        self._warm_starts[query.name] = dict(solution.values)
+
+        primary = {name: solution.values[primary_variable(name)] for name in items}
+        return DABAssignment(
+            primary=primary,
+            secondary=None,
+            reference_values={name: float(values[name]) for name in items},
+            recompute_rate=self.cost_model.estimated_refresh_rate(primary),
+            objective=solution.objective,
+        )
+
+    def clear_warm_starts(self) -> None:
+        """Drop cached solver starts (per-query); next solves run cold."""
+        self._warm_starts.clear()

@@ -1,0 +1,134 @@
+"""Threshold-crossing monitoring — an extension beyond the paper.
+
+The paper's related work ([3], [5]) and its future-work section point at
+*threshold queries*: alert the user when a polynomial crosses a threshold
+``T`` (arbitrage becomes profitable, a spill area exceeds a limit).  The
+DAB machinery supports this directly once the QAB is made value-dependent:
+while the query value is far from ``T``, large imprecision is harmless; as
+it approaches, the bound must tighten.
+
+:class:`ThresholdMonitor` maintains
+
+    B(V) = max(theta * |P(V) - T|, floor)
+
+— a ``theta`` fraction of the current distance to the threshold — and
+replans (with any PPQ/general planner underneath) whenever the bound it
+last planned with is more than ``replan_ratio`` away from the freshly
+computed one.  Correctness: with the value at distance ``d`` and
+``B <= theta*d``, the coordinator's view cannot silently cross the
+threshold, because a true crossing moves the value by at least ``d``
+while the cached view stays within ``B < d`` of the truth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.exceptions import FilterError
+from repro.filters.assignment import DABAssignment
+from repro.filters.cost_model import CostModel
+from repro.filters.heuristics import DifferentSumPlanner
+from repro.queries.polynomial import PolynomialQuery
+
+
+@dataclass(frozen=True)
+class ThresholdQuery:
+    """Alert when ``polynomial`` crosses ``threshold``.
+
+    ``theta`` is the fraction of the distance-to-threshold granted as
+    imprecision (0 < theta < 1); ``floor`` keeps the bound positive when
+    the value sits on the threshold (the alert has then fired anyway).
+    """
+
+    polynomial: PolynomialQuery
+    threshold: float
+    theta: float = 0.5
+    floor: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.theta < 1.0):
+            raise FilterError(f"theta must be in (0, 1), got {self.theta!r}")
+        if self.floor <= 0.0:
+            raise FilterError(f"floor must be positive, got {self.floor!r}")
+        if not math.isfinite(self.threshold):
+            raise FilterError(f"threshold must be finite, got {self.threshold!r}")
+
+    def distance(self, values: Mapping[str, float]) -> float:
+        """|P(V) - T| at the given values."""
+        return abs(self.polynomial.evaluate(values) - self.threshold)
+
+    def accuracy_bound(self, values: Mapping[str, float]) -> float:
+        """The value-dependent QAB ``B(V)``."""
+        return max(self.theta * self.distance(values), self.floor)
+
+    def crossed(self, reference_value: float, current_value: float) -> bool:
+        """Has the query value crossed the threshold between two readings?"""
+        return (reference_value - self.threshold) * \
+               (current_value - self.threshold) <= 0.0
+
+
+class ThresholdMonitor:
+    """Adaptive-QAB planning for one threshold query.
+
+    ``replan_ratio`` controls hysteresis: the monitor replans when the
+    freshly computed bound differs from the planned-with bound by more
+    than this multiplicative factor (both directions), so small
+    oscillations in the value don't thrash the planner.
+    """
+
+    def __init__(self, query: ThresholdQuery, cost_model: CostModel,
+                 planner: Optional[object] = None, replan_ratio: float = 1.5):
+        if replan_ratio <= 1.0:
+            raise FilterError(f"replan ratio must be > 1, got {replan_ratio!r}")
+        self.query = query
+        self.cost_model = cost_model
+        self.planner = planner if planner is not None else DifferentSumPlanner(cost_model)
+        self.replan_ratio = replan_ratio
+        self._planned_bound: Optional[float] = None
+        self._plan: Optional[DABAssignment] = None
+        self.replan_count = 0
+
+    @property
+    def current_plan(self) -> Optional[DABAssignment]:
+        return self._plan
+
+    @property
+    def planned_bound(self) -> Optional[float]:
+        return self._planned_bound
+
+    def needs_replan(self, values: Mapping[str, float]) -> bool:
+        """True when the adaptive bound drifted past the hysteresis band
+        (or nothing has been planned yet)."""
+        if self._planned_bound is None or self._plan is None:
+            return True
+        if not self._plan.window_contains(values):
+            return True
+        fresh = self.query.accuracy_bound(values)
+        ratio = fresh / self._planned_bound
+        return ratio > self.replan_ratio or ratio < 1.0 / self.replan_ratio
+
+    def plan(self, values: Mapping[str, float]) -> DABAssignment:
+        """(Re)plan if needed and return the active assignment."""
+        if self.needs_replan(values):
+            bound = self.query.accuracy_bound(values)
+            bounded_query = self.query.polynomial.with_qab(
+                bound, name=f"{self.query.polynomial.name}__thr")
+            self._plan = self.planner.plan(bounded_query, values)
+            self._planned_bound = bound
+            self.replan_count += 1
+        assert self._plan is not None
+        return self._plan
+
+    def coordinator_alert(self, reference_values: Mapping[str, float],
+                          cached_values: Mapping[str, float]) -> bool:
+        """Should the coordinator raise the alert given its cache?
+
+        Conservative test: alert when the cached view is within its own
+        bound of the threshold — the truth may already have crossed.
+        """
+        cached_value = self.query.polynomial.evaluate(cached_values)
+        bound = self._planned_bound if self._planned_bound is not None \
+            else self.query.accuracy_bound(reference_values)
+        return abs(cached_value - self.query.threshold) <= bound

@@ -1,0 +1,48 @@
+"""Geometric programming substrate.
+
+The paper solves its DAB-assignment formulations with CVXOPT's geometric
+programming interface.  CVXOPT is not available in this environment, so this
+subpackage implements the required machinery from scratch:
+
+* :class:`~repro.gp.monomial.Monomial` and
+  :class:`~repro.gp.posynomial.Posynomial` — the algebra used to build
+  objectives and constraints,
+* :class:`~repro.gp.program.GeometricProgram` — a model object holding a
+  posynomial objective and posynomial/monomial constraints,
+* :func:`~repro.gp.solver.solve` — log-space convexification solved with
+  scipy (SLSQP with analytic gradients, trust-constr fallback, multi-start),
+* :class:`~repro.gp.diagnostics.SolveReport` — feasibility and optimality
+  diagnostics attached to every solution.
+
+A geometric program in standard form is::
+
+    minimise    f0(t)
+    subject to  fi(t) <= 1,   i = 1..m     (posynomial constraints)
+                gj(t) == 1,   j = 1..p     (monomial constraints)
+                t > 0
+
+With the substitution ``y = log t`` every posynomial becomes a log-sum-exp
+function, which is smooth and convex, so a local solve is a global solve.
+"""
+
+from repro.gp.monomial import Monomial
+from repro.gp.posynomial import Posynomial, as_posynomial, substitute
+from repro.gp.program import Constraint, GeometricProgram
+from repro.gp.solver import GPSolution, solve
+from repro.gp.diagnostics import SolveReport
+from repro.gp.sensitivity import SensitivityReport, analyze, qab_relaxation_value
+
+__all__ = [
+    "Monomial",
+    "Posynomial",
+    "as_posynomial",
+    "substitute",
+    "Constraint",
+    "GeometricProgram",
+    "GPSolution",
+    "solve",
+    "SolveReport",
+    "SensitivityReport",
+    "analyze",
+    "qab_relaxation_value",
+]

@@ -1,0 +1,65 @@
+"""Solver diagnostics.
+
+Every GP solve returns a :class:`SolveReport` alongside the solution so that
+callers (and tests) can assert not just "a number came back" but that the
+point is feasible and the solver converged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class SolveReport:
+    """Outcome of one GP solve.
+
+    Attributes
+    ----------
+    status:
+        ``"optimal"``, ``"infeasible"`` or ``"failed"``.
+    method:
+        The scipy method that produced the accepted point.
+    iterations:
+        Iteration count reported by scipy.
+    starts_tried:
+        How many starting points were attempted before success.
+    max_violation:
+        Largest normalised constraint violation ``g(t) - 1`` at the solution
+        (non-positive means feasible).
+    residuals:
+        Per-constraint violations, keyed by constraint name.
+    message:
+        Human-readable detail from the solver.
+    """
+
+    status: str
+    method: str = ""
+    iterations: int = 0
+    starts_tried: int = 1
+    max_violation: float = float("inf")
+    residuals: Dict[str, float] = field(default_factory=dict)
+    message: str = ""
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == "optimal"
+
+    def active_constraints(self, tol: float = 1e-5) -> List[str]:
+        """Constraints within ``tol`` of their bound (|g - 1| small).
+
+        For the paper's formulations the QAB constraint should always be
+        active at the optimum — slack there means refreshes left on the
+        table — so this is a useful optimality smoke test.
+        """
+        return [name for name, v in self.residuals.items() if abs(v) <= tol]
+
+    def summary(self) -> str:
+        lines = [
+            f"status={self.status} method={self.method} iterations={self.iterations}",
+            f"starts_tried={self.starts_tried} max_violation={self.max_violation:.3e}",
+        ]
+        if self.message:
+            lines.append(f"message: {self.message}")
+        return "\n".join(lines)

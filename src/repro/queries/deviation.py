@@ -1,0 +1,205 @@
+"""Worst-case query deviation and its posynomial expansion.
+
+This module is the mathematical heart of the reproduction: it turns the
+paper's QAB conditions into GP-ready posynomials.
+
+For one positive term ``w * prod_i x_i^{p_i}`` at current values ``V_i``,
+the worst-case increase when each item may move by ``d_i`` is obtained with
+every item moving *up* simultaneously (all quantities positive)::
+
+    w * ( prod_i (V_i + d_i)^{p_i}  -  prod_i V_i^{p_i} )
+
+Expanding each factor with the binomial theorem and multiplying out, every
+surviving term (the pure-``V`` constant cancels) contains at least one
+``d_i`` and has a positive coefficient — a *posynomial* in the ``d_i``.
+
+* **Single-DAB condition (paper Eq. 1, generalised):** substitute
+  ``d_i = b_i`` and require the sum over query terms ``<= B``.
+* **Dual-DAB condition (paper Eq. 2, generalised):** the primary DABs must
+  stay valid anywhere inside the secondary window, whose worst point is
+  ``V_i + c_i``; substitute base value ``V_i + c_i`` and ``d_i = b_i``:
+
+      sum_t w_t * ( prod (V_i + c_i + b_i)^{p_i} - prod (V_i + c_i)^{p_i} ) <= B
+
+  which is again a posynomial in ``(b, c)`` jointly.
+
+The paper derives these for degree-2 products (``x*y``); here the expansion
+handles arbitrary positive integer exponents via the multinomial theorem.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import InvalidQueryError
+from repro.gp.monomial import Monomial
+from repro.gp.posynomial import Posynomial
+from repro.queries.terms import QueryTerm
+
+#: Prefixes for the GP variables derived from item names.  Double
+#: underscores keep them out of the item-name namespace.
+_PRIMARY_PREFIX = "b__"
+_SECONDARY_PREFIX = "c__"
+
+
+def primary_variable(item: str) -> str:
+    """GP variable name of the primary DAB of ``item``."""
+    return _PRIMARY_PREFIX + item
+
+
+def secondary_variable(item: str) -> str:
+    """GP variable name of the secondary DAB of ``item``."""
+    return _SECONDARY_PREFIX + item
+
+
+def item_of_variable(variable: str) -> str:
+    """Inverse of the two functions above."""
+    for prefix in (_PRIMARY_PREFIX, _SECONDARY_PREFIX):
+        if variable.startswith(prefix):
+            return variable[len(prefix):]
+    raise ValueError(f"{variable!r} is not a DAB variable")
+
+
+def _require_positive_value(name: str, values: Mapping[str, float]) -> float:
+    try:
+        value = float(values[name])
+    except KeyError:
+        raise KeyError(f"no current value supplied for data item {name!r}") from None
+    if not (value > 0.0) or math.isinf(value):
+        raise InvalidQueryError(
+            f"the GP formulation needs strictly positive item values; {name!r} = {value!r}. "
+            "(Prices/rates/coordinates in the paper's workloads are positive; shift or "
+            "re-origin the data if needed.)"
+        )
+    return value
+
+
+def _factor_expansion(value: float, power: int, b_var: str,
+                      c_var: Optional[str]) -> Posynomial:
+    """Binomial/trinomial expansion of one factor.
+
+    Without a secondary variable: ``(V + b)^p = sum_k C(p,k) V^{p-k} b^k``.
+    With one: ``(V + c + b)^p = sum_{j+k<=p} p!/(j!k!(p-j-k)!) V^{p-j-k} c^j b^k``.
+    All coefficients are positive because ``V > 0``.
+    """
+    monomials: List[Monomial] = []
+    if c_var is None:
+        for k in range(power + 1):
+            coefficient = math.comb(power, k) * value ** (power - k)
+            monomials.append(Monomial(coefficient, {b_var: k} if k else {}))
+    else:
+        for j in range(power + 1):
+            for k in range(power - j + 1):
+                coefficient = (
+                    math.comb(power, j) * math.comb(power - j, k)
+                    * value ** (power - j - k)
+                )
+                exponents: Dict[str, int] = {}
+                if j:
+                    exponents[c_var] = j
+                if k:
+                    exponents[b_var] = k
+                monomials.append(Monomial(coefficient, exponents))
+    return Posynomial(monomials)
+
+
+def _has_primary_variable(monomial: Monomial) -> bool:
+    return any(name.startswith(_PRIMARY_PREFIX) for name in monomial.variables)
+
+
+def deviation_posynomial(
+    terms: Iterable[QueryTerm],
+    values: Mapping[str, float],
+    include_secondary: bool = False,
+) -> Posynomial:
+    """The worst-case query deviation as a posynomial in the DAB variables.
+
+    Parameters
+    ----------
+    terms:
+        Query terms; weights enter through their absolute value (each term's
+        worst case is independent, which is exact for PPQs and the safe
+        triangle bound for mixed signs).
+    values:
+        Current item values ``V_i`` (strictly positive).
+    include_secondary:
+        When true, produce the dual-DAB form in ``(b__*, c__*)``; otherwise
+        the single-DAB form in ``b__*`` only.
+
+    Returns
+    -------
+    Posynomial
+        Every term contains at least one primary-DAB variable; the constant
+        (pure ``V``/pure ``c``) part is already subtracted out.
+    """
+    collected: List[Monomial] = []
+    for term in terms:
+        product = Posynomial([Monomial.constant(abs(term.weight))])
+        for name, power in term.key:
+            value = _require_positive_value(name, values)
+            factor = _factor_expansion(
+                value, power, primary_variable(name),
+                secondary_variable(name) if include_secondary else None,
+            )
+            product = product * factor
+        collected.extend(m for m in product.terms if _has_primary_variable(m))
+    if not collected:
+        raise InvalidQueryError("deviation expansion produced no DAB-bearing terms")
+    return Posynomial(collected)
+
+
+def dual_dab_condition(terms: Iterable[QueryTerm], values: Mapping[str, float],
+                       qab: float) -> Posynomial:
+    """Paper Eq. 2 generalised: the posynomial ``g(b, c)`` with the QAB
+    condition ``g <= qab``, normalised to ``g/qab`` (ready for ``<= 1``)."""
+    if not (qab > 0.0):
+        raise InvalidQueryError(f"QAB must be positive, got {qab!r}")
+    return deviation_posynomial(terms, values, include_secondary=True) / qab
+
+
+# ---------------------------------------------------------------------------
+# Numeric worst-case deviations (used by validity predicates and tests)
+# ---------------------------------------------------------------------------
+
+def max_term_deviation(term: QueryTerm, values: Mapping[str, float],
+                       bounds: Mapping[str, float]) -> float:
+    """``|w| * (prod (V_i + d_i)^{p_i} - prod V_i^{p_i})`` — the exact
+    worst-case change of one term when each item may move by ``d_i >= 0``.
+
+    Items absent from ``bounds`` are treated as exact (``d_i = 0``).
+    """
+    base = 1.0
+    shifted = 1.0
+    for name, power in term.key:
+        value = _require_positive_value(name, values)
+        bound = float(bounds.get(name, 0.0))
+        if bound < 0.0:
+            raise InvalidQueryError(f"deviation bounds must be >= 0; {name!r} = {bound!r}")
+        base *= value ** power
+        shifted *= (value + bound) ** power
+    return abs(term.weight) * (shifted - base)
+
+
+def max_query_deviation(terms: Iterable[QueryTerm], values: Mapping[str, float],
+                        bounds: Mapping[str, float]) -> float:
+    """Worst-case absolute query deviation under per-item bounds.
+
+    Exact for PPQs (all items move up together); for mixed-sign queries it
+    is the triangle-inequality bound, which is attained when the positive
+    and negative halves share no data items (the paper's "independent"
+    case) and conservative otherwise.
+    """
+    return sum(max_term_deviation(term, values, bounds) for term in terms)
+
+
+def assignment_feasible_for_query(
+    terms: Iterable[QueryTerm],
+    values: Mapping[str, float],
+    bounds: Mapping[str, float],
+    qab: float,
+    tol: float = 1e-9,
+) -> bool:
+    """Condition 1 of the problem statement: do these DABs guarantee the
+    QAB at the current values?"""
+    return max_query_deviation(terms, values, bounds) <= qab * (1.0 + tol)

@@ -1,0 +1,106 @@
+"""Data items and their registry.
+
+A :class:`DataItem` is one dynamic quantity served by a source — a stock
+price, an exchange rate, a sensor coordinate.  The :class:`ItemRegistry`
+keeps the item population for a deployment in a stable order, which the
+workload generator, the simulator and the experiments all share.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.exceptions import InvalidQueryError
+
+#: Item names must be usable as GP variable-name fragments.
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def validate_item_name(name: str) -> str:
+    """Validate and return an item name.
+
+    Raises :class:`~repro.exceptions.InvalidQueryError` for names that could
+    not serve as GP variable fragments (the DAB variables are derived from
+    them as ``b__<name>`` / ``c__<name>``).
+    """
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise InvalidQueryError(
+            f"item name must be an identifier ([A-Za-z_][A-Za-z0-9_]*), got {name!r}"
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class DataItem:
+    """One dynamic data item.
+
+    Attributes
+    ----------
+    name:
+        Identifier, unique within a registry.
+    description:
+        Optional human-readable description ("ACME stock price, NYSE").
+    """
+
+    name: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        validate_item_name(self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class ItemRegistry:
+    """An ordered, name-unique collection of :class:`DataItem` objects."""
+
+    def __init__(self, items: Iterable[DataItem] = ()):
+        self._items: Dict[str, DataItem] = {}
+        for item in items:
+            self.register(item)
+
+    @classmethod
+    def from_names(cls, names: Iterable[str]) -> "ItemRegistry":
+        return cls(DataItem(name) for name in names)
+
+    @classmethod
+    def numbered(cls, count: int, prefix: str = "x") -> "ItemRegistry":
+        """``count`` items named ``<prefix>0 .. <prefix>{count-1}`` — the
+        paper's "100 data items" population."""
+        if count < 1:
+            raise InvalidQueryError(f"item count must be >= 1, got {count}")
+        return cls.from_names(f"{prefix}{i}" for i in range(count))
+
+    def register(self, item: DataItem) -> DataItem:
+        if item.name in self._items:
+            raise InvalidQueryError(f"duplicate item name {item.name!r}")
+        self._items[item.name] = item
+        return item
+
+    def get(self, name: str) -> DataItem:
+        try:
+            return self._items[name]
+        except KeyError:
+            raise KeyError(f"unknown data item {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[DataItem]:
+        return iter(self._items.values())
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._items)
+
+    def subset(self, names: Iterable[str]) -> "ItemRegistry":
+        return ItemRegistry(self.get(name) for name in names)
+
+    def __repr__(self) -> str:
+        return f"ItemRegistry({len(self)} items)"

@@ -1,0 +1,174 @@
+"""A small text format for polynomial queries.
+
+Grammar (whitespace-insensitive)::
+
+    query   := expr [":" NUMBER]
+    expr    := ["+"|"-"] term (("+"|"-") term)*
+    term    := primary (["*"] primary)*
+    primary := NUMBER | IDENT [("^" | "**") INT]
+
+Examples
+--------
+``"x*y : 5"``                     — the paper's running example (Fig. 2)
+``"3 x*y - 2 u*v : 5"``           — a weighted mixed-sign query
+``"x^2 + y^2 : 0.5"``             — the oil-spill area building block
+``"0.5 x0*x1 + 2 x2^2"``          — QAB omitted (supply it separately)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import QueryParseError
+from repro.queries.polynomial import PolynomialQuery
+from repro.queries.terms import QueryTerm
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<number>\d+\.\d*|\.\d+|\d+(?:[eE][-+]?\d+)?|\d*\.\d+[eE][-+]?\d+)
+    | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<power>\*\*|\^)
+    | (?P<star>\*)
+    | (?P<plus>\+)
+    | (?P<minus>-)
+    | (?P<colon>:)
+    | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "position")
+
+    def __init__(self, kind: str, text: str, position: int):
+        self.kind = kind
+        self.text = text
+        self.position = position
+
+    def __repr__(self) -> str:
+        return f"_Token({self.kind}, {self.text!r}, {self.position})"
+
+
+def _tokenise(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise QueryParseError(text, position, f"unexpected character {text[position]!r}")
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    tokens.append(_Token("end", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenise(text)
+        self.index = 0
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        if self.current.kind != kind:
+            raise QueryParseError(
+                self.text, self.current.position,
+                f"expected {kind}, found {self.current.text or 'end of input'!r}",
+            )
+        return self.advance()
+
+    # query := expr [':' NUMBER]
+    def parse_query(self) -> Tuple[List[QueryTerm], Optional[float]]:
+        terms = self.parse_expr()
+        qab: Optional[float] = None
+        if self.current.kind == "colon":
+            self.advance()
+            qab = float(self.expect("number").text)
+        self.expect("end")
+        return terms, qab
+
+    # expr := ['+'|'-'] term (('+'|'-') term)*
+    def parse_expr(self) -> List[QueryTerm]:
+        terms: List[QueryTerm] = []
+        sign = 1.0
+        if self.current.kind in ("plus", "minus"):
+            sign = -1.0 if self.advance().kind == "minus" else 1.0
+        terms.append(self.parse_term(sign))
+        while self.current.kind in ("plus", "minus"):
+            sign = -1.0 if self.advance().kind == "minus" else 1.0
+            terms.append(self.parse_term(sign))
+        return terms
+
+    # term := primary (['*'] primary)*
+    def parse_term(self, sign: float) -> QueryTerm:
+        weight = sign
+        exponents: Dict[str, int] = {}
+        saw_factor = False
+        while True:
+            if self.current.kind == "star":
+                self.advance()
+                continue
+            if self.current.kind == "number":
+                weight *= float(self.advance().text)
+                saw_factor = True
+                continue
+            if self.current.kind == "ident":
+                name = self.advance().text
+                exponent = 1
+                if self.current.kind == "power":
+                    self.advance()
+                    exp_token = self.expect("number")
+                    exp_value = float(exp_token.text)
+                    if not exp_value.is_integer():
+                        raise QueryParseError(
+                            self.text, exp_token.position,
+                            f"exponents must be integers, got {exp_token.text}",
+                        )
+                    exponent = int(exp_value)
+                exponents[name] = exponents.get(name, 0) + exponent
+                saw_factor = True
+                continue
+            break
+        if not saw_factor:
+            raise QueryParseError(self.text, self.current.position, "expected a term")
+        if not exponents:
+            raise QueryParseError(
+                self.text, self.current.position,
+                "constant terms are not allowed (a term must reference a data item)",
+            )
+        return QueryTerm(weight, exponents)
+
+
+def parse_terms(text: str) -> List[QueryTerm]:
+    """Parse just the polynomial part (no QAB allowed)."""
+    terms, qab = _Parser(text).parse_query()
+    if qab is not None:
+        raise QueryParseError(text, text.rindex(":"), "unexpected QAB in a terms-only parse")
+    return terms
+
+
+def parse_query(text: str, qab: Optional[float] = None,
+                name: Optional[str] = None) -> PolynomialQuery:
+    """Parse ``"<polynomial> [: <QAB>]"`` into a :class:`PolynomialQuery`.
+
+    The QAB may be given in the text or as the ``qab`` argument (the
+    argument wins if both are present and disagree — an explicit override
+    for experiment sweeps).
+    """
+    terms, parsed_qab = _Parser(text).parse_query()
+    bound = qab if qab is not None else parsed_qab
+    if bound is None:
+        raise QueryParseError(text, len(text), "no QAB given (append ': <bound>' or pass qab=)")
+    return PolynomialQuery(terms, bound, name)

@@ -1,0 +1,137 @@
+"""Weighted monomial terms of a polynomial query.
+
+A :class:`QueryTerm` is ``w * x1^p1 * ... * xk^pk`` with non-zero real
+weight ``w`` and positive integer exponents ``pi``.  Integer exponents are
+what the paper's worst-case-deviation expansion (and hence the GP
+constraints) requires; the example workloads (portfolio, arbitrage, spill
+area) are all degree-2 products or squares.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Tuple, Union
+
+from repro.exceptions import InvalidQueryError
+from repro.queries.items import validate_item_name
+
+Number = Union[int, float]
+
+
+def _normalise_exponents(exponents: Mapping[str, int]) -> Tuple[Tuple[str, int], ...]:
+    cleaned: Dict[str, int] = {}
+    for name, exp in exponents.items():
+        validate_item_name(name)
+        if not float(exp).is_integer():
+            raise InvalidQueryError(
+                f"query-term exponents must be integers, got {name}^{exp!r}; "
+                "the deviation expansion (paper Eq. 1/2) needs the multinomial theorem"
+            )
+        exp_int = int(exp)
+        if exp_int < 0:
+            raise InvalidQueryError(f"query-term exponents must be >= 0, got {name}^{exp_int}")
+        if exp_int > 0:
+            cleaned[name] = exp_int
+    if not cleaned:
+        raise InvalidQueryError("a query term must reference at least one data item")
+    return tuple(sorted(cleaned.items()))
+
+
+class QueryTerm:
+    """One term of a polynomial query; immutable and hashable."""
+
+    __slots__ = ("_weight", "_exponents")
+
+    def __init__(self, weight: Number, exponents: Mapping[str, int]):
+        value = float(weight)
+        if value == 0.0 or math.isnan(value) or math.isinf(value):
+            raise InvalidQueryError(f"term weight must be finite and non-zero, got {weight!r}")
+        self._weight = value
+        self._exponents = _normalise_exponents(exponents)
+
+    @classmethod
+    def product(cls, weight: Number, *names: str) -> "QueryTerm":
+        """``weight * n1 * n2 * ...`` — repeated names raise the exponent,
+        so ``product(1, "x", "x")`` is ``x^2``."""
+        exponents: Dict[str, int] = {}
+        for name in names:
+            exponents[name] = exponents.get(name, 0) + 1
+        return cls(weight, exponents)
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def weight(self) -> float:
+        return self._weight
+
+    @property
+    def exponents(self) -> Dict[str, int]:
+        return dict(self._exponents)
+
+    @property
+    def key(self) -> Tuple[Tuple[str, int], ...]:
+        """Exponent signature (weight excluded) — used to combine like terms."""
+        return self._exponents
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self._exponents)
+
+    @property
+    def degree(self) -> int:
+        return sum(exp for _, exp in self._exponents)
+
+    @property
+    def is_positive(self) -> bool:
+        return self._weight > 0.0
+
+    @property
+    def is_linear(self) -> bool:
+        return self.degree == 1
+
+    def exponent_of(self, name: str) -> int:
+        for var, exp in self._exponents:
+            if var == name:
+                return exp
+        return 0
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(self, values: Mapping[str, Number]) -> float:
+        result = self._weight
+        for name, exp in self._exponents:
+            try:
+                result *= float(values[name]) ** exp
+            except KeyError:
+                raise KeyError(f"no value supplied for data item {name!r}") from None
+        return result
+
+    # -- algebra ---------------------------------------------------------------
+
+    def __neg__(self) -> "QueryTerm":
+        return QueryTerm(-self._weight, dict(self._exponents))
+
+    def with_weight(self, weight: Number) -> "QueryTerm":
+        return QueryTerm(weight, dict(self._exponents))
+
+    def scaled(self, factor: Number) -> "QueryTerm":
+        return QueryTerm(self._weight * float(factor), dict(self._exponents))
+
+    def abs(self) -> "QueryTerm":
+        return self if self.is_positive else -self
+
+    # -- protocol ----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryTerm):
+            return NotImplemented
+        return self._exponents == other._exponents and math.isclose(
+            self._weight, other._weight, rel_tol=1e-12, abs_tol=0.0
+        )
+
+    def __hash__(self) -> int:
+        return hash((round(self._weight, 12), self._exponents))
+
+    def __repr__(self) -> str:
+        parts = [name if exp == 1 else f"{name}^{exp}" for name, exp in self._exponents]
+        return f"QueryTerm({self._weight:g} * " + "*".join(parts) + ")"

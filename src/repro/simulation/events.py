@@ -1,0 +1,70 @@
+"""Event primitives for the discrete-event simulator.
+
+Events live on a continuous timeline (ticks are integers, message arrivals
+fall between them).  The queue breaks time ties by insertion order, which
+keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+class EventKind(enum.Enum):
+    """The event types the single-coordinator simulator processes."""
+
+    #: Integer-tick housekeeping: sources sample traces, fidelity sampled.
+    TICK = "tick"
+    #: A data refresh from a source reaching a coordinator.
+    REFRESH_ARRIVAL = "refresh_arrival"
+    #: New primary DABs reaching a source after a recomputation.
+    DAB_CHANGE_ARRIVAL = "dab_change_arrival"
+    #: Periodic full AAO recomputation (the AAO-T schedule of Figure 7).
+    AAO_PERIODIC = "aao_periodic"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled occurrence.
+
+    ``payload`` carries kind-specific data:
+
+    * ``REFRESH_ARRIVAL`` — ``{"item", "value", "source_id"}``
+    * ``DAB_CHANGE_ARRIVAL`` — ``{"source_id", "bounds": {item: b}}``
+    """
+
+    time: float
+    kind: EventKind
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class EventQueue:
+    """A deterministic min-heap of events ordered by (time, insertion)."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+
+    def push(self, event: Event) -> None:
+        if event.time < 0.0:
+            raise ValueError(f"event time must be >= 0, got {event.time!r}")
+        heapq.heappush(self._heap, (event.time, next(self._counter), event))
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        _time, _seq, event = heapq.heappop(self._heap)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

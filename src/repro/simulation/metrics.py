@@ -1,0 +1,132 @@
+"""Metrics — the paper's four evaluation quantities (Section V-A).
+
+1. **Fidelity**: fraction of observation time each query's QAB is met at
+   the coordinator; the paper reports *loss* in fidelity, averaged over
+   queries.
+2. **Number of refreshes**: refresh messages arriving at a coordinator.
+3. **Number of recomputations**: DAB recomputations across all queries.
+4. **Total cost**: ``refreshes + μ · recomputations``.
+
+The collector also tracks quantities the paper discusses qualitatively:
+DAB-change messages to sources, user notifications, and the GP-solve count
+(to separate algorithmic recomputations from actual solver work once the
+quantised cache is in play).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+
+@dataclass
+class QueryFidelity:
+    """Per-query in-bound time accounting."""
+
+    in_bound_ticks: int = 0
+    observed_ticks: int = 0
+
+    def record(self, in_bound: bool) -> None:
+        self.observed_ticks += 1
+        if in_bound:
+            self.in_bound_ticks += 1
+
+    @property
+    def fidelity(self) -> float:
+        """Fraction of observed time the QAB held (1.0 when never observed)."""
+        if self.observed_ticks == 0:
+            return 1.0
+        return self.in_bound_ticks / self.observed_ticks
+
+    @property
+    def loss_percent(self) -> float:
+        return 100.0 * (1.0 - self.fidelity)
+
+
+@dataclass
+class SimulationMetrics:
+    """Immutable summary returned by a finished run."""
+
+    refreshes: int
+    recomputations: int
+    recompute_cost: float
+    fidelity_loss_percent: float
+    per_query_loss_percent: Dict[str, float]
+    recomputations_per_query: Dict[str, int]
+    dab_change_messages: int
+    user_notifications: int
+    gp_solves: int
+    duration_ticks: int
+
+    @property
+    def total_cost(self) -> float:
+        """``refreshes + μ · recomputations`` — the paper's cost metric."""
+        return self.refreshes + self.recompute_cost * self.recomputations
+
+
+class MetricsCollector:
+    """Mutable counters updated by the simulator components."""
+
+    def __init__(self, recompute_cost: float):
+        self.recompute_cost = recompute_cost
+        self.refreshes = 0
+        self.dab_change_messages = 0
+        self.user_notifications = 0
+        self.gp_solves = 0
+        self._recomputations: Dict[str, int] = {}
+        self._fidelity: Dict[str, QueryFidelity] = {}
+        self._duration_ticks = 0
+
+    # -- recording ----------------------------------------------------------------
+
+    def record_refresh(self, count: int = 1) -> None:
+        self.refreshes += count
+
+    def record_recomputation(self, query_name: str, count: int = 1) -> None:
+        self._recomputations[query_name] = self._recomputations.get(query_name, 0) + count
+
+    def record_dab_change_messages(self, count: int) -> None:
+        self.dab_change_messages += count
+
+    def record_user_notification(self, count: int = 1) -> None:
+        self.user_notifications += count
+
+    def record_gp_solves(self, count: int = 1) -> None:
+        self.gp_solves += count
+
+    def record_fidelity(self, query_name: str, in_bound: bool) -> None:
+        self._fidelity.setdefault(query_name, QueryFidelity()).record(in_bound)
+
+    def record_tick(self) -> None:
+        self._duration_ticks += 1
+
+    # -- summaries ----------------------------------------------------------------
+
+    @property
+    def recomputations(self) -> int:
+        return sum(self._recomputations.values())
+
+    def fidelity_of(self, query_name: str) -> QueryFidelity:
+        return self._fidelity.setdefault(query_name, QueryFidelity())
+
+    def mean_fidelity_loss_percent(self) -> float:
+        if not self._fidelity:
+            return 0.0
+        losses = [f.loss_percent for f in self._fidelity.values()]
+        return sum(losses) / len(losses)
+
+    def summary(self) -> SimulationMetrics:
+        return SimulationMetrics(
+            refreshes=self.refreshes,
+            recomputations=self.recomputations,
+            recompute_cost=self.recompute_cost,
+            fidelity_loss_percent=self.mean_fidelity_loss_percent(),
+            per_query_loss_percent={
+                name: f.loss_percent for name, f in self._fidelity.items()
+            },
+            recomputations_per_query=dict(self._recomputations),
+            dab_change_messages=self.dab_change_messages,
+            user_notifications=self.user_notifications,
+            gp_solves=self.gp_solves,
+            duration_ticks=self._duration_ticks,
+        )

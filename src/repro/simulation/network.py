@@ -1,0 +1,106 @@
+"""Network and computation delay models.
+
+The paper draws node–node communication delays from a heavy-tailed Pareto
+distribution with a mean around 100–120 ms (following Raunak et al.,
+SIGMETRICS 2000), and models coordinator computation with Pareto delays as
+well (mean 4 ms to check which QABs a refresh violates, 1 ms to push a
+value to the user).  :class:`ParetoDelayModel` reproduces that; constant
+and zero models support controlled tests.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+#: Paper defaults, in seconds (ticks are seconds).
+DEFAULT_NODE_DELAY_MEAN = 0.110
+DEFAULT_CHECK_DELAY_MEAN = 0.004
+DEFAULT_PUSH_DELAY_MEAN = 0.001
+
+
+class DelayModel(abc.ABC):
+    """Produces per-message delays in seconds."""
+
+    @abc.abstractmethod
+    def sample(self) -> float:
+        """Return the next delay (>= 0)."""
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """The distribution mean, for reporting."""
+
+
+class ZeroDelayModel(DelayModel):
+    """Instant delivery — the zero-delay network of Condition 1, under
+    which the QABs must hold at all times (used by correctness tests)."""
+
+    def sample(self) -> float:
+        return 0.0
+
+    @property
+    def mean(self) -> float:
+        return 0.0
+
+
+class ConstantDelayModel(DelayModel):
+    """Every message takes exactly ``delay`` seconds."""
+
+    def __init__(self, delay: float):
+        if delay < 0.0:
+            raise SimulationError(f"delay must be >= 0, got {delay!r}")
+        self._delay = delay
+
+    def sample(self) -> float:
+        return self._delay
+
+    @property
+    def mean(self) -> float:
+        return self._delay
+
+
+class ParetoDelayModel(DelayModel):
+    """Heavy-tailed Pareto delays with a given mean.
+
+    A (Lomax-form) Pareto with shape ``a > 1`` and scale ``m`` has mean
+    ``m · a / (a - 1)``; we fix the shape (default 2.5, comfortably
+    heavy-tailed with finite variance) and derive the scale from the
+    requested mean.
+    """
+
+    def __init__(self, mean: float = DEFAULT_NODE_DELAY_MEAN, shape: float = 2.5,
+                 rng: Optional[np.random.Generator] = None, seed: int = 0):
+        if mean <= 0.0:
+            raise SimulationError(f"mean delay must be positive, got {mean!r}")
+        if shape <= 1.0:
+            raise SimulationError(f"Pareto shape must be > 1 for a finite mean, got {shape!r}")
+        self._mean = mean
+        self.shape = shape
+        self.scale = mean * (shape - 1.0) / shape
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
+
+    def sample(self) -> float:
+        # numpy's pareto() is the Lomax form: scale * (1 + X) has minimum
+        # `scale` and mean scale * a / (a - 1).
+        return float(self.scale * (1.0 + self._rng.pareto(self.shape)))
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+
+def paper_delay_models(seed: int = 0, node_mean: float = DEFAULT_NODE_DELAY_MEAN):
+    """The paper's three delay sources as a (network, check, push) triple,
+    each with its own substream so their draws never interleave."""
+    root = np.random.SeedSequence(entropy=seed)
+    streams = [np.random.default_rng(s) for s in root.spawn(3)]
+    return (
+        ParetoDelayModel(node_mean, rng=streams[0]),
+        ParetoDelayModel(DEFAULT_CHECK_DELAY_MEAN, rng=streams[1]),
+        ParetoDelayModel(DEFAULT_PUSH_DELAY_MEAN, rng=streams[2]),
+    )

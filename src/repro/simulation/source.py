@@ -1,0 +1,89 @@
+"""Push sources.
+
+Each :class:`SourceNode` serves a set of data items: at every tick it
+samples its traces and pushes a refresh to the coordinator whenever a value
+has drifted more than the item's *primary* DAB from the last pushed value
+(the paper's push model: with value 5 and ``b = 1``, the next refresh fires
+when the source value leaves ``[4, 6]``).  New DABs arrive asynchronously
+as DAB-change messages and take effect on arrival.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.exceptions import SimulationError
+from repro.dynamics.traces import TraceSet
+from repro.simulation.events import Event, EventKind, EventQueue
+from repro.simulation.metrics import MetricsCollector
+from repro.simulation.network import DelayModel
+
+
+def assign_items_to_sources(items: Sequence[str], source_count: int) -> Dict[str, int]:
+    """Round-robin item→source placement (the paper's 100 items over 20
+    sources)."""
+    if source_count < 1:
+        raise SimulationError(f"source count must be >= 1, got {source_count!r}")
+    return {name: index % source_count for index, name in enumerate(items)}
+
+
+class SourceNode:
+    """One push source serving a subset of the items."""
+
+    def __init__(
+        self,
+        source_id: int,
+        items: Iterable[str],
+        traces: TraceSet,
+        queue: EventQueue,
+        metrics: MetricsCollector,
+        network_delay: DelayModel,
+    ):
+        self.source_id = source_id
+        self.items: List[str] = list(items)
+        if not self.items:
+            raise SimulationError(f"source {source_id} has no items")
+        self.traces = traces
+        self.queue = queue
+        self.metrics = metrics
+        self.network_delay = network_delay
+        #: Last value pushed (and acknowledged as the filter centre).
+        self.last_pushed: Dict[str, float] = {
+            name: traces[name].at(0) for name in self.items
+        }
+        #: Current primary DABs; items without a bound push every change.
+        self.bounds: Dict[str, float] = {}
+
+    # -- control-plane ---------------------------------------------------------
+
+    def set_bounds(self, bounds: Mapping[str, float]) -> None:
+        """Apply new primary DABs immediately (bootstrap path)."""
+        for name, value in bounds.items():
+            if name in self.last_pushed:
+                self.bounds[name] = float(value)
+
+    def on_dab_change(self, event: Event) -> None:
+        """A DAB-change message arrived from the coordinator."""
+        self.set_bounds(event.payload["bounds"])
+
+    # -- data-plane --------------------------------------------------------------
+
+    def on_tick(self, tick: int) -> None:
+        """Sample traces; push refreshes for items outside their filter."""
+        for name in self.items:
+            value = self.traces[name].at(tick)
+            bound = self.bounds.get(name)
+            if bound is None:
+                # No DAB yet: stay silent (the coordinator planned against
+                # the same initial values, so nothing is stale).
+                continue
+            if abs(value - self.last_pushed[name]) > bound:
+                self.last_pushed[name] = value
+                self.queue.push(Event(
+                    time=tick + self.network_delay.sample(),
+                    kind=EventKind.REFRESH_ARRIVAL,
+                    payload={"item": name, "value": value, "source_id": self.source_id},
+                ))
+
+    def __repr__(self) -> str:
+        return f"SourceNode(id={self.source_id}, items={len(self.items)})"

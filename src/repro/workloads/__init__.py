@@ -1,0 +1,27 @@
+"""Query workload generation — the paper's Section V-A methodology."""
+
+from repro.workloads.generator import (
+    WorkloadConfig,
+    generate_arbitrage_queries,
+    generate_laq_queries,
+    generate_portfolio_queries,
+    split_items_80_20,
+)
+from repro.workloads.scenarios import (
+    PaperScenario,
+    paper_registry,
+    paper_traces,
+    scaled_scenario,
+)
+
+__all__ = [
+    "WorkloadConfig",
+    "generate_portfolio_queries",
+    "generate_arbitrage_queries",
+    "generate_laq_queries",
+    "split_items_80_20",
+    "PaperScenario",
+    "paper_registry",
+    "paper_traces",
+    "scaled_scenario",
+]

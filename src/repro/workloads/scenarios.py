@@ -1,0 +1,102 @@
+"""Named experiment scenarios.
+
+The paper's physical setup: 20 sources, 1 coordinator, 100 data items,
+~10 000 s stock traces.  :func:`scaled_scenario` builds that world at any
+scale factor so tests run in milliseconds, benches in seconds, and a full
+paper-scale reproduction remains one call away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.dynamics.traces import (
+    GBMTraceGenerator,
+    MonotonicTraceGenerator,
+    RandomWalkTraceGenerator,
+    TraceSet,
+    generate_trace_set,
+)
+from repro.queries.items import ItemRegistry
+from repro.queries.polynomial import PolynomialQuery
+from repro.workloads.generator import (
+    WorkloadConfig,
+    generate_arbitrage_queries,
+    generate_portfolio_queries,
+)
+
+#: Paper scale.
+PAPER_ITEM_COUNT = 100
+PAPER_TRACE_LENGTH = 10_000
+PAPER_SOURCE_COUNT = 20
+
+_GENERATORS = {
+    "gbm": GBMTraceGenerator,
+    "random_walk": RandomWalkTraceGenerator,
+    "monotonic": MonotonicTraceGenerator,
+}
+
+
+def paper_registry(item_count: int = PAPER_ITEM_COUNT) -> ItemRegistry:
+    """The item population (``x0 .. x99`` at paper scale)."""
+    return ItemRegistry.numbered(item_count)
+
+
+def paper_traces(registry: ItemRegistry, length: int = PAPER_TRACE_LENGTH,
+                 kind: str = "gbm", seed: int = 0, **generator_kwargs) -> TraceSet:
+    """Stock-like traces for the population (see DESIGN.md §2 for why GBM
+    substitutes for the paper's Yahoo! downloads)."""
+    try:
+        generator_cls = _GENERATORS[kind]
+    except KeyError:
+        raise ValueError(f"unknown trace kind {kind!r}; expected one of {sorted(_GENERATORS)}")
+    return generate_trace_set(registry, length, generator_cls(**generator_kwargs), seed=seed)
+
+
+@dataclass
+class PaperScenario:
+    """A fully materialised world: items, traces and queries."""
+
+    registry: ItemRegistry
+    traces: TraceSet
+    queries: List[PolynomialQuery]
+    source_count: int
+
+    @property
+    def initial_values(self) -> Dict[str, float]:
+        return self.traces.initial_values()
+
+
+def scaled_scenario(
+    query_count: int,
+    item_count: int = 40,
+    trace_length: int = 1200,
+    source_count: int = 8,
+    query_kind: str = "portfolio",
+    trace_kind: str = "gbm",
+    seed: int = 0,
+    workload: Optional[WorkloadConfig] = None,
+    **trace_kwargs,
+) -> PaperScenario:
+    """Build a scenario at a chosen scale.
+
+    ``query_kind``: ``"portfolio"`` (PPQs, Figures 5–7) or ``"arbitrage"``
+    (general PQs, Figure 8(a/b)).  Defaults are the bench scale; pass
+    ``item_count=100, trace_length=10_000, source_count=20`` for the
+    paper's full setup.
+    """
+    registry = paper_registry(item_count)
+    traces = paper_traces(registry, trace_length, kind=trace_kind, seed=seed,
+                          **trace_kwargs)
+    initial = traces.initial_values()
+    if query_kind == "portfolio":
+        queries = generate_portfolio_queries(registry, initial, query_count,
+                                             config=workload, seed=seed)
+    elif query_kind == "arbitrage":
+        queries = generate_arbitrage_queries(registry, initial, query_count,
+                                             config=workload, seed=seed)
+    else:
+        raise ValueError(f"unknown query kind {query_kind!r}")
+    return PaperScenario(registry=registry, traces=traces, queries=queries,
+                         source_count=source_count)

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite.
+
+Scales are kept tiny (tens of items, hundreds of ticks) so the full suite
+runs in minutes; the benchmarks exercise larger scales.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dynamics import estimate_rates
+from repro.filters import CostModel
+from repro.queries import parse_query
+from repro.workloads import scaled_scenario
+
+
+@pytest.fixture(scope="session")
+def fig2_query():
+    """The paper's running example: ``x*y : 5``."""
+    return parse_query("x*y : 5", name="fig2")
+
+
+@pytest.fixture(scope="session")
+def fig2_values():
+    return {"x": 2.0, "y": 2.0}
+
+
+@pytest.fixture(scope="session")
+def unit_cost_model():
+    """λ = 1 for x and y, μ = 1 — the hand-checkable setting."""
+    return CostModel(rates={"x": 1.0, "y": 1.0}, recompute_cost=1.0)
+
+
+@pytest.fixture(scope="session")
+def small_scenario():
+    """A small portfolio-PPQ world shared by integration tests."""
+    return scaled_scenario(query_count=6, item_count=20, trace_length=201,
+                           source_count=4, seed=7)
+
+
+@pytest.fixture(scope="session")
+def arbitrage_scenario():
+    """A small general-PQ (arbitrage) world."""
+    return scaled_scenario(query_count=4, item_count=24, trace_length=201,
+                           source_count=4, seed=11, query_kind="arbitrage")
+
+
+@pytest.fixture(scope="session")
+def small_cost_model(small_scenario):
+    rates = estimate_rates(small_scenario.traces)
+    return CostModel(rates=rates, recompute_cost=5.0)

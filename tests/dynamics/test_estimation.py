@@ -1,0 +1,102 @@
+"""Tests for rate-of-change estimation (paper Section V methodology)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TraceError
+from repro.dynamics import (
+    EwmaRateEstimator,
+    SampledRateEstimator,
+    Trace,
+    TraceSet,
+    UnitRateEstimator,
+    estimate_rates,
+)
+
+
+def linear_trace(slope: float, length: int = 301, start: float = 100.0) -> Trace:
+    return Trace("lin", start + slope * np.arange(length))
+
+
+class TestSampledRateEstimator:
+    def test_linear_trace_recovers_slope(self):
+        """For v(t) = v0 + s·t the sampled estimator must return exactly s
+        regardless of the sampling interval."""
+        trace = linear_trace(slope=0.05)
+        for interval in (1, 10, 60):
+            estimate = SampledRateEstimator(interval).estimate(trace)
+            assert estimate == pytest.approx(0.05, rel=1e-9)
+
+    def test_flat_trace_is_zero(self):
+        trace = Trace("flat", np.full(200, 42.0))
+        assert SampledRateEstimator().estimate(trace) == 0.0
+
+    def test_short_trace_falls_back_to_endpoints(self):
+        trace = Trace("short", np.array([10.0, 10.5, 11.0]))
+        estimate = SampledRateEstimator(60).estimate(trace)
+        assert estimate == pytest.approx(0.5)
+
+    def test_interval_validation(self):
+        with pytest.raises(TraceError):
+            SampledRateEstimator(0)
+
+    def test_sampling_smooths_oscillation(self):
+        """A fast oscillation looks slower at coarse sampling — the reason
+        the paper samples at one minute rather than every tick."""
+        values = 100.0 + np.tile([0.0, 1.0], 150)
+        trace = Trace("osc", values)
+        fine = SampledRateEstimator(1).estimate(trace)
+        coarse = SampledRateEstimator(60).estimate(trace)
+        assert coarse < fine
+
+
+class TestEwmaRateEstimator:
+    def test_linear_trace(self):
+        assert EwmaRateEstimator().estimate(linear_trace(0.05)) == pytest.approx(0.05)
+
+    def test_recency_weighting(self):
+        """Quiet history then a burst: EWMA must sit above the whole-trace
+        mean estimator's view of the same data."""
+        values = np.concatenate([np.full(200, 100.0),
+                                 100.0 + np.cumsum(np.full(50, 0.5))])
+        trace = Trace("burst", values)
+        ewma = EwmaRateEstimator(alpha=0.2).estimate(trace)
+        mean = SampledRateEstimator(1).estimate(trace)
+        assert ewma > mean
+
+    def test_alpha_validation(self):
+        with pytest.raises(TraceError):
+            EwmaRateEstimator(alpha=0.0)
+        with pytest.raises(TraceError):
+            EwmaRateEstimator(alpha=1.5)
+
+
+class TestUnitRateEstimator:
+    def test_constant(self):
+        assert UnitRateEstimator().estimate(linear_trace(5.0)) == 1.0
+        assert UnitRateEstimator(3.0).estimate(linear_trace(5.0)) == 3.0
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            UnitRateEstimator(0.0)
+
+
+class TestEstimateRates:
+    def make_traces(self):
+        return TraceSet([
+            Trace("a", 10.0 + 0.1 * np.arange(200)),
+            Trace("b", 10.0 + 0.4 * np.arange(200)),
+        ])
+
+    def test_default_estimator(self):
+        rates = estimate_rates(self.make_traces())
+        assert rates["a"] == pytest.approx(0.1, rel=1e-9)
+        assert rates["b"] == pytest.approx(0.4, rel=1e-9)
+
+    def test_item_subset(self):
+        rates = estimate_rates(self.make_traces(), items=["a"])
+        assert set(rates) == {"a"}
+
+    def test_custom_estimator(self):
+        rates = estimate_rates(self.make_traces(), estimator=UnitRateEstimator())
+        assert rates == {"a": 1.0, "b": 1.0}

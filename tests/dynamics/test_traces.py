@@ -1,0 +1,154 @@
+"""Tests for trace containers and synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TraceError
+from repro.dynamics import (
+    GBMTraceGenerator,
+    MonotonicTraceGenerator,
+    RandomWalkTraceGenerator,
+    Trace,
+    TraceSet,
+    generate_trace_set,
+)
+from repro.queries import ItemRegistry
+
+
+class TestTrace:
+    def test_basics(self):
+        t = Trace("x", np.array([1.0, 2.0, 3.0]))
+        assert len(t) == 3
+        assert t.duration == 2
+        assert t.initial == 1.0
+        assert t.at(1) == 2.0
+
+    def test_held_constant_past_end(self):
+        t = Trace("x", np.array([1.0, 2.0]))
+        assert t.at(100) == 2.0
+
+    def test_negative_tick_rejected(self):
+        t = Trace("x", np.array([1.0, 2.0]))
+        with pytest.raises(TraceError):
+            t.at(-1)
+
+    def test_segment(self):
+        t = Trace("x", np.array([1.0, 2.0, 3.0, 4.0]))
+        assert list(t.segment(1, 3)) == [2.0, 3.0]
+
+    @pytest.mark.parametrize("values", [
+        [1.0],                      # too short
+        [1.0, -1.0],                # non-positive
+        [1.0, float("nan")],        # non-finite
+        [[1.0, 2.0], [3.0, 4.0]],   # wrong shape
+    ])
+    def test_invalid_series_rejected(self, values):
+        with pytest.raises(TraceError):
+            Trace("x", np.array(values))
+
+
+class TestTraceSet:
+    def make(self):
+        return TraceSet([
+            Trace("x", np.array([1.0, 2.0, 3.0])),
+            Trace("y", np.array([5.0, 5.0, 5.0])),
+        ])
+
+    def test_lookup(self):
+        traces = self.make()
+        assert traces["x"].initial == 1.0
+        assert "y" in traces
+        assert len(traces) == 2
+        assert traces.duration == 2
+
+    def test_unknown_item(self):
+        with pytest.raises(KeyError):
+            self.make()["z"]
+
+    def test_values_at(self):
+        traces = self.make()
+        assert traces.values_at(1) == {"x": 2.0, "y": 5.0}
+        assert traces.values_at(1, ["x"]) == {"x": 2.0}
+        assert traces.initial_values() == {"x": 1.0, "y": 5.0}
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(TraceError, match="duplicate"):
+            TraceSet([Trace("x", np.array([1.0, 2.0])),
+                      Trace("x", np.array([1.0, 2.0]))])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(TraceError, match="length"):
+            TraceSet([Trace("x", np.array([1.0, 2.0])),
+                      Trace("y", np.array([1.0, 2.0, 3.0]))])
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            TraceSet([])
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("generator", [
+        GBMTraceGenerator(),
+        RandomWalkTraceGenerator(),
+        MonotonicTraceGenerator(),
+    ])
+    def test_positive_and_right_length(self, generator):
+        rng = np.random.default_rng(0)
+        trace = generator.generate("x", 500, rng)
+        assert len(trace) == 500
+        assert np.all(trace.values > 0.0)
+
+    def test_gbm_volatility_scales_movement(self):
+        rng1, rng2 = np.random.default_rng(0), np.random.default_rng(0)
+        quiet = GBMTraceGenerator(volatility=0.001).generate("x", 1000, rng1)
+        noisy = GBMTraceGenerator(volatility=0.01).generate("x", 1000, rng2)
+        def movement(t):
+            return np.abs(np.diff(np.log(t.values))).mean()
+        assert movement(noisy) > movement(quiet) * 3
+
+    def test_monotonic_runs_are_long(self):
+        rng = np.random.default_rng(1)
+        trace = MonotonicTraceGenerator(flip_probability=0.01).generate("x", 2000, rng)
+        signs = np.sign(np.diff(trace.values))
+        flips = np.count_nonzero(np.diff(signs))
+        assert flips < 100  # far fewer direction changes than ticks
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TraceError):
+            GBMTraceGenerator(volatility=-1.0)
+        with pytest.raises(TraceError):
+            RandomWalkTraceGenerator(step_scale=-1.0)
+        with pytest.raises(TraceError):
+            MonotonicTraceGenerator(flip_probability=2.0)
+        with pytest.raises(TraceError):
+            GBMTraceGenerator(initial_range=(0.0, 10.0))
+
+    def test_length_too_short(self):
+        with pytest.raises(TraceError):
+            GBMTraceGenerator().generate("x", 1, np.random.default_rng(0))
+
+
+class TestGenerateTraceSet:
+    def test_reproducible(self):
+        registry = ItemRegistry.numbered(5)
+        a = generate_trace_set(registry, 100, seed=42)
+        b = generate_trace_set(registry, 100, seed=42)
+        for item in registry.names:
+            assert np.array_equal(a[item].values, b[item].values)
+
+    def test_seed_changes_traces(self):
+        registry = ItemRegistry.numbered(2)
+        a = generate_trace_set(registry, 100, seed=1)
+        b = generate_trace_set(registry, 100, seed=2)
+        assert not np.array_equal(a["x0"].values, b["x0"].values)
+
+    def test_adding_items_preserves_existing(self):
+        """Per-item substreams: item x0's trace must not depend on how many
+        other items exist."""
+        small = generate_trace_set(ItemRegistry.numbered(2), 100, seed=5)
+        large = generate_trace_set(ItemRegistry.numbered(10), 100, seed=5)
+        assert np.array_equal(small["x0"].values, large["x0"].values)
+
+    def test_bad_generator_rejected(self):
+        with pytest.raises(TraceError, match="generate"):
+            generate_trace_set(ItemRegistry.numbered(1), 100, generator=object())

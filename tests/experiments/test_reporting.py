@@ -1,0 +1,82 @@
+"""Tests for experiment reporting helpers."""
+
+from repro.experiments import (
+    ExperimentPoint,
+    ExperimentSeries,
+    format_table,
+    rows_to_csv,
+    series_to_rows,
+)
+
+
+def make_series():
+    a = ExperimentSeries("A", [
+        ExperimentPoint(x=10, refreshes=100, recomputations=5,
+                        fidelity_loss_percent=0.1, total_cost=125.0),
+        ExperimentPoint(x=20, refreshes=180, recomputations=9,
+                        fidelity_loss_percent=0.2, total_cost=225.0),
+    ])
+    b = ExperimentSeries("B", [
+        ExperimentPoint(x=10, refreshes=300, recomputations=50,
+                        fidelity_loss_percent=1.5, total_cost=550.0),
+    ])
+    return [a, b]
+
+
+class TestSeries:
+    def test_metric_extraction(self):
+        series = make_series()[0]
+        assert series.metric("refreshes") == [(10, 100), (20, 180)]
+        assert series.metric("total_cost") == [(10, 125.0), (20, 225.0)]
+
+
+class TestSeriesToRows:
+    def test_pivot(self):
+        rows = series_to_rows(make_series(), "recomputations", x_label="queries")
+        assert rows[0] == {"queries": 10, "A": 5, "B": 50}
+        assert rows[1] == {"queries": 20, "A": 9}  # B has no point at 20
+
+    def test_x_sorted(self):
+        rows = series_to_rows(make_series(), "refreshes")
+        assert [r["x"] for r in rows] == [10, 20]
+
+
+class TestFormatTable:
+    def test_renders_title_and_columns(self):
+        rows = series_to_rows(make_series(), "refreshes", x_label="queries")
+        text = format_table(rows, title="Figure X")
+        lines = text.splitlines()
+        assert lines[0] == "Figure X"
+        assert "queries" in lines[1] and "A" in lines[1] and "B" in lines[1]
+        assert "100" in text and "300" in text
+
+    def test_empty_rows(self):
+        assert format_table([], title="empty") == "empty"
+
+    def test_missing_cells_blank(self):
+        rows = series_to_rows(make_series(), "refreshes")
+        text = format_table(rows)
+        # row for x=20 exists even though B has no value there
+        assert "20" in text
+
+    def test_float_formatting(self):
+        text = format_table([{"x": 0.123456789}])
+        assert "0.123457" in text
+
+
+class TestRowsToCsv:
+    def test_round_trip_columns(self):
+        rows = series_to_rows(make_series(), "refreshes", x_label="queries")
+        csv = rows_to_csv(rows)
+        lines = csv.splitlines()
+        assert lines[0] == "queries,A,B"
+        assert lines[1] == "10,100,300"
+        # B has no point at x=20: the cell is empty
+        assert lines[2] == "20,180,"
+
+    def test_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_float_precision(self):
+        csv = rows_to_csv([{"v": 1.0 / 3.0}])
+        assert csv.splitlines()[1].startswith("0.333333333")

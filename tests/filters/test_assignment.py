@@ -1,0 +1,127 @@
+"""Unit tests for :mod:`repro.filters.assignment`."""
+
+import pytest
+
+from repro.exceptions import InvalidAssignmentError
+from repro.filters import DABAssignment, MultiQueryAssignment, merge_primary
+from repro.queries import parse_query
+
+
+def make_dual():
+    return DABAssignment(
+        primary={"x": 0.5, "y": 0.5},
+        secondary={"x": 2.0, "y": 1.5},
+        reference_values={"x": 2.0, "y": 2.0},
+        recompute_rate=0.4,
+    )
+
+
+class TestValidation:
+    def test_valid_dual(self):
+        a = make_dual()
+        assert a.is_dual
+        assert a.items == ("x", "y")
+        assert a.primary_of("x") == 0.5
+
+    def test_single_dab(self):
+        a = DABAssignment(primary={"x": 1.0}, reference_values={"x": 2.0})
+        assert not a.is_dual
+
+    def test_nonpositive_primary_rejected(self):
+        with pytest.raises(InvalidAssignmentError):
+            DABAssignment(primary={"x": 0.0})
+
+    def test_empty_primary_rejected(self):
+        with pytest.raises(InvalidAssignmentError):
+            DABAssignment(primary={})
+
+    def test_secondary_below_primary_rejected(self):
+        with pytest.raises(InvalidAssignmentError, match="dominate"):
+            DABAssignment(primary={"x": 1.0}, secondary={"x": 0.5})
+
+    def test_secondary_missing_item_rejected(self):
+        with pytest.raises(InvalidAssignmentError, match="missing"):
+            DABAssignment(primary={"x": 1.0, "y": 1.0}, secondary={"x": 2.0})
+
+    def test_unknown_primary_lookup(self):
+        with pytest.raises(KeyError):
+            make_dual().primary_of("zz")
+
+
+class TestWindow:
+    def test_window_contains_inside(self):
+        a = make_dual()
+        assert a.window_contains({"x": 3.9, "y": 3.4})
+        assert a.window_contains({"x": 0.1, "y": 0.6})
+
+    def test_window_violated_outside(self):
+        a = make_dual()
+        assert not a.window_contains({"x": 4.2, "y": 2.0})
+        assert a.violated_items({"x": 4.2, "y": 4.0}) == ["x", "y"]
+
+    def test_window_ignores_unknown_items(self):
+        a = make_dual()
+        assert a.window_contains({"x": 2.0, "other": 1e9})
+
+    def test_single_dab_window_breaks_on_any_change(self):
+        a = DABAssignment(primary={"x": 1.0}, reference_values={"x": 2.0})
+        assert a.window_contains({"x": 2.0})
+        assert not a.window_contains({"x": 2.0001})
+        assert a.violated_items({"x": 3.0}) == ["x"]
+
+
+class TestGuarantees:
+    def test_guarantees_qab_true(self):
+        q = parse_query("x*y : 5")
+        a = DABAssignment(primary={"x": 1.0, "y": 1.0},
+                          reference_values={"x": 2.0, "y": 2.0})
+        assert a.guarantees_qab(q, {"x": 2.0, "y": 2.0})
+
+    def test_guarantees_qab_false_after_drift(self):
+        q = parse_query("x*y : 5")
+        a = DABAssignment(primary={"x": 1.0, "y": 1.0},
+                          reference_values={"x": 2.0, "y": 2.0})
+        assert not a.guarantees_qab(q, {"x": 3.0, "y": 2.0})
+
+    def test_guarantees_over_window(self):
+        """The Fig. 4 numbers: b=0.5 valid over the window up to (5.5, 4.5)."""
+        q = parse_query("x*y : 5")
+        a = DABAssignment(
+            primary={"x": 0.5, "y": 0.5},
+            secondary={"x": 2.9, "y": 1.9},
+            reference_values={"x": 2.0, "y": 2.0},
+        )
+        assert a.guarantees_qab_over_window(q)
+        too_wide = DABAssignment(
+            primary={"x": 0.5, "y": 0.5},
+            secondary={"x": 3.5, "y": 2.5},
+            reference_values={"x": 2.0, "y": 2.0},
+        )
+        # At the edge (5.5, 4.5): 6*5 - 5.5*4.5 = 5.25 > 5
+        assert not too_wide.guarantees_qab_over_window(q)
+
+    def test_restricted_to(self):
+        a = make_dual().restricted_to(["x"])
+        assert a.items == ("x",)
+        assert a.secondary == {"x": 2.0}
+
+
+class TestMerging:
+    def test_merge_primary_takes_min(self):
+        a = DABAssignment(primary={"x": 1.0, "y": 3.0})
+        b = DABAssignment(primary={"y": 2.0, "z": 5.0})
+        merged = merge_primary([a, b])
+        assert merged == {"x": 1.0, "y": 2.0, "z": 5.0}
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(InvalidAssignmentError):
+            merge_primary([])
+
+    def test_multi_query_assignment(self):
+        a = DABAssignment(primary={"x": 1.0, "y": 3.0})
+        b = DABAssignment(primary={"y": 2.0})
+        multi = MultiQueryAssignment.from_assignments({"q1": a, "q2": b})
+        assert multi.coordinator == {"x": 1.0, "y": 2.0}
+        assert multi.items == ("x", "y")
+        assert multi.primary_of("y") == 2.0
+        assert multi.per_query["q1"] is a

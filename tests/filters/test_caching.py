@@ -1,0 +1,114 @@
+"""Tests for the quantised solve cache (simulator optimisation)."""
+
+import pytest
+
+from repro.exceptions import FilterError
+from repro.filters import CostModel, DualDABPlanner, OptimalRefreshPlanner
+from repro.filters.caching import QuantisingCachePlanner
+from repro.queries import parse_query
+from repro.queries.deviation import max_query_deviation
+
+
+class _CountingPlanner:
+    """Wraps a planner and counts actual plan() invocations."""
+
+    def __init__(self, planner):
+        self.planner = planner
+        self.calls = 0
+
+    def plan(self, query, values):
+        self.calls += 1
+        return self.planner.plan(query, values)
+
+
+@pytest.fixture()
+def cached_optimal(fig2_query, unit_cost_model):
+    inner = _CountingPlanner(OptimalRefreshPlanner(unit_cost_model))
+    return inner, QuantisingCachePlanner(inner, grid=0.02)
+
+
+class TestCacheBehaviour:
+    def test_nearby_values_hit(self, cached_optimal, fig2_query):
+        inner, cache = cached_optimal
+        cache.plan(fig2_query, {"x": 2.0, "y": 2.0})
+        cache.plan(fig2_query, {"x": 2.001, "y": 2.0})  # same 2% cell
+        assert inner.calls == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_distant_values_miss(self, cached_optimal, fig2_query):
+        inner, cache = cached_optimal
+        cache.plan(fig2_query, {"x": 2.0, "y": 2.0})
+        cache.plan(fig2_query, {"x": 2.5, "y": 2.0})
+        assert inner.calls == 2
+
+    def test_different_queries_do_not_collide(self, unit_cost_model):
+        inner = _CountingPlanner(OptimalRefreshPlanner(unit_cost_model))
+        cache = QuantisingCachePlanner(inner)
+        q1 = parse_query("x*y : 5", name="cq1")
+        q2 = parse_query("x*y : 3", name="cq2")
+        cache.plan(q1, {"x": 2.0, "y": 2.0})
+        cache.plan(q2, {"x": 2.0, "y": 2.0})
+        assert inner.calls == 2
+
+    def test_clear(self, cached_optimal, fig2_query):
+        inner, cache = cached_optimal
+        cache.plan(fig2_query, {"x": 2.0, "y": 2.0})
+        cache.clear()
+        cache.plan(fig2_query, {"x": 2.0, "y": 2.0})
+        assert inner.calls == 2
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction(self, unit_cost_model, fig2_query):
+        inner = _CountingPlanner(OptimalRefreshPlanner(unit_cost_model))
+        cache = QuantisingCachePlanner(inner, grid=0.02, max_entries=2)
+        cache.plan(fig2_query, {"x": 2.0, "y": 2.0})
+        cache.plan(fig2_query, {"x": 3.0, "y": 2.0})
+        cache.plan(fig2_query, {"x": 4.0, "y": 2.0})  # evicts first entry
+        cache.plan(fig2_query, {"x": 2.0, "y": 2.0})  # must re-solve
+        assert inner.calls == 4
+
+    def test_invalid_parameters(self, unit_cost_model):
+        inner = OptimalRefreshPlanner(unit_cost_model)
+        with pytest.raises(FilterError):
+            QuantisingCachePlanner(inner, grid=0.0)
+        with pytest.raises(FilterError):
+            QuantisingCachePlanner(inner, max_entries=0)
+
+    def test_nonpositive_value_rejected(self, cached_optimal, fig2_query):
+        _inner, cache = cached_optimal
+        with pytest.raises(FilterError):
+            cache.plan(fig2_query, {"x": -2.0, "y": 2.0})
+
+
+class TestSoundness:
+    """The load-bearing property: cached plans re-centred on the true
+    values must still satisfy Condition 1 (and the window guarantee)."""
+
+    def test_hit_remains_feasible_at_true_values(self, unit_cost_model, fig2_query):
+        cache = QuantisingCachePlanner(OptimalRefreshPlanner(unit_cost_model),
+                                       grid=0.05)
+        cache.plan(fig2_query, {"x": 2.09, "y": 2.09})  # populates cell
+        for x in (2.05, 2.07, 2.0999):
+            plan = cache.plan(fig2_query, {"x": x, "y": 2.05})
+            deviation = max_query_deviation(
+                fig2_query.terms, {"x": x, "y": 2.05}, plan.primary)
+            assert deviation <= fig2_query.qab * (1 + 1e-9)
+
+    def test_hit_keeps_window_guarantee(self, fig2_query, unit_cost_model):
+        cache = QuantisingCachePlanner(DualDABPlanner(unit_cost_model), grid=0.05)
+        cache.plan(fig2_query, {"x": 2.09, "y": 2.09})
+        plan = cache.plan(fig2_query, {"x": 2.02, "y": 2.05})
+        assert plan.reference_values == {"x": 2.02, "y": 2.05}
+        assert plan.guarantees_qab_over_window(fig2_query)
+
+    def test_references_always_recentred(self, cached_optimal, fig2_query):
+        _inner, cache = cached_optimal
+        plan1 = cache.plan(fig2_query, {"x": 2.0, "y": 2.0})
+        plan2 = cache.plan(fig2_query, {"x": 2.001, "y": 2.0})
+        assert plan1.reference_values["x"] == 2.0
+        assert plan2.reference_values["x"] == 2.001
+        # the cached bounds are shared, not aliased
+        assert plan1.primary == plan2.primary
+        assert plan1.primary is not plan2.primary

@@ -1,0 +1,128 @@
+"""Tests for the general-PQ heuristics (paper Section III-B)."""
+
+import pytest
+
+from repro.exceptions import FilterError
+from repro.filters import (
+    CostModel,
+    DifferentSumPlanner,
+    DualDABPlanner,
+    HalfAndHalfPlanner,
+    OptimalRefreshPlanner,
+)
+from repro.filters.heuristics import dispatch_planner
+from repro.queries import parse_query
+from repro.queries.deviation import max_query_deviation
+
+
+@pytest.fixture(scope="module")
+def mixed_query():
+    return parse_query("x*y - u*v : 5", name="mixed")
+
+
+@pytest.fixture(scope="module")
+def mixed_values():
+    return {"x": 2.0, "y": 2.0, "u": 3.0, "v": 1.0}
+
+
+@pytest.fixture(scope="module")
+def mixed_model(mixed_values):
+    return CostModel(rates={k: 1.0 for k in mixed_values}, recompute_cost=2.0)
+
+
+class TestCorrectness:
+    """Both heuristics must satisfy Condition 1: the triangle-bound
+    deviation under the assigned DABs stays within the QAB."""
+
+    def test_half_and_half_guarantees_qab(self, mixed_query, mixed_values, mixed_model):
+        plan = HalfAndHalfPlanner(mixed_model).plan(mixed_query, mixed_values)
+        deviation = max_query_deviation(mixed_query.terms, mixed_values, plan.primary)
+        assert deviation <= mixed_query.qab * (1 + 1e-6)
+
+    def test_different_sum_guarantees_qab(self, mixed_query, mixed_values, mixed_model):
+        plan = DifferentSumPlanner(mixed_model).plan(mixed_query, mixed_values)
+        deviation = max_query_deviation(mixed_query.terms, mixed_values, plan.primary)
+        assert deviation <= mixed_query.qab * (1 + 1e-6)
+
+    def test_dual_windows_valid(self, mixed_query, mixed_values, mixed_model):
+        for planner_cls in (HalfAndHalfPlanner, DifferentSumPlanner):
+            plan = planner_cls(mixed_model).plan(mixed_query, mixed_values)
+            mirror = mixed_query.positive_mirror()
+            edge = {k: mixed_values[k] + plan.secondary[k] for k in plan.primary}
+            deviation = max_query_deviation(mirror.terms, edge, plan.primary)
+            # the mirror's deviation bounds the original's (Claim 1)
+            assert deviation <= mixed_query.qab * (1 + 1e-6)
+
+    def test_all_items_covered(self, mixed_query, mixed_values, mixed_model):
+        for planner_cls in (HalfAndHalfPlanner, DifferentSumPlanner):
+            plan = planner_cls(mixed_model).plan(mixed_query, mixed_values)
+            assert set(plan.primary) == set(mixed_query.variables)
+
+
+class TestPpqPassThrough:
+    def test_ppq_delegates_to_base(self, fig2_query, fig2_values, unit_cost_model):
+        base = DualDABPlanner(unit_cost_model)
+        hh = HalfAndHalfPlanner(unit_cost_model, base).plan(fig2_query, fig2_values)
+        ds = DifferentSumPlanner(unit_cost_model, base).plan(fig2_query, fig2_values)
+        direct = base.plan(fig2_query, fig2_values)
+        assert hh.primary == pytest.approx(direct.primary, rel=1e-3)
+        assert ds.primary == pytest.approx(direct.primary, rel=1e-3)
+
+    def test_all_negative_query(self, unit_cost_model):
+        q = parse_query("-x*y : 5", name="allneg")
+        plan = HalfAndHalfPlanner(unit_cost_model).plan(q, {"x": 2.0, "y": 2.0})
+        # -P moves exactly as much as P: same bounds as the positive case
+        assert plan.primary["x"] == pytest.approx(plan.primary["y"], rel=1e-3)
+        deviation = max_query_deviation(q.terms, {"x": 2.0, "y": 2.0}, plan.primary)
+        assert deviation <= q.qab * (1 + 1e-6)
+
+
+class TestSplitRatio:
+    def test_invalid_ratio_rejected(self, unit_cost_model):
+        for bad in (0.0, 1.0, -0.5):
+            with pytest.raises(FilterError):
+                HalfAndHalfPlanner(unit_cost_model, split_ratio=bad)
+
+    def test_skewed_split_shifts_bounds(self, mixed_query, mixed_values, mixed_model):
+        """Giving more of the QAB to the positive half loosens its DABs."""
+        generous = HalfAndHalfPlanner(mixed_model, split_ratio=0.8).plan(
+            mixed_query, mixed_values)
+        stingy = HalfAndHalfPlanner(mixed_model, split_ratio=0.2).plan(
+            mixed_query, mixed_values)
+        assert generous.primary["x"] > stingy.primary["x"]
+        assert generous.primary["u"] < stingy.primary["u"]
+
+
+class TestDependentHalves:
+    def test_shared_item_takes_min(self, unit_cost_model):
+        q = parse_query("x^2 - x*y : 4", name="dep")
+        values = {"x": 3.0, "y": 2.0}
+        model = CostModel(rates={"x": 1.0, "y": 1.0}, recompute_cost=2.0)
+        plan = HalfAndHalfPlanner(model).plan(q, values)
+        # triangle-bound correctness even with shared items
+        deviation = max_query_deviation(q.terms, values, plan.primary)
+        assert deviation <= q.qab * (1 + 1e-6)
+        assert not q.halves_are_independent()
+
+    def test_different_sum_dependent(self):
+        q = parse_query("x^2 - x*y : 4", name="dep2")
+        values = {"x": 3.0, "y": 2.0}
+        model = CostModel(rates={"x": 1.0, "y": 1.0}, recompute_cost=2.0)
+        plan = DifferentSumPlanner(model).plan(q, values)
+        deviation = max_query_deviation(q.terms, values, plan.primary)
+        assert deviation <= q.qab * (1 + 1e-6)
+
+
+class TestDispatch:
+    def test_dispatch_variants(self, unit_cost_model):
+        ds = dispatch_planner(unit_cost_model)
+        assert isinstance(ds, DifferentSumPlanner)
+        assert isinstance(ds.base, DualDABPlanner)
+        hh = dispatch_planner(unit_cost_model, heuristic="half_and_half")
+        assert isinstance(hh, HalfAndHalfPlanner)
+        refresh_only = dispatch_planner(unit_cost_model, dual=False)
+        assert isinstance(refresh_only.base, OptimalRefreshPlanner)
+
+    def test_dispatch_unknown_heuristic(self, unit_cost_model):
+        with pytest.raises(FilterError, match="unknown heuristic"):
+            dispatch_planner(unit_cost_model, heuristic="thirds")

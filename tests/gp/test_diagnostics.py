@@ -1,0 +1,38 @@
+"""Unit tests for solve diagnostics."""
+
+from repro.gp.diagnostics import SolveReport
+
+
+class TestSolveReport:
+    def make(self, **overrides):
+        defaults = dict(
+            status="optimal", method="SLSQP", iterations=12, starts_tried=1,
+            max_violation=1e-9,
+            residuals={"qab": -2e-7, "order[x]": -0.4, "window[x]": -0.9},
+            message="Optimization terminated successfully",
+        )
+        defaults.update(overrides)
+        return SolveReport(**defaults)
+
+    def test_is_optimal(self):
+        assert self.make().is_optimal
+        assert not self.make(status="failed").is_optimal
+
+    def test_active_constraints_default_tolerance(self):
+        report = self.make()
+        assert report.active_constraints() == ["qab"]
+
+    def test_active_constraints_custom_tolerance(self):
+        report = self.make()
+        assert set(report.active_constraints(tol=0.5)) == {"qab", "order[x]"}
+
+    def test_summary_contains_key_fields(self):
+        text = self.make().summary()
+        assert "status=optimal" in text
+        assert "method=SLSQP" in text
+        assert "iterations=12" in text
+        assert "Optimization terminated successfully" in text
+
+    def test_summary_without_message(self):
+        text = self.make(message="").summary()
+        assert "message:" not in text

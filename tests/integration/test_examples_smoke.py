@@ -1,0 +1,50 @@
+"""Smoke tests: the fast examples must run end to end.
+
+The heavier market-simulation examples (`global_portfolio.py`,
+`arbitrage_monitor.py`, `oil_spill_tracking.py`) take tens of seconds and
+are exercised implicitly through the harness tests; here we run the
+lightweight ones for real so a refactor can't silently break the README's
+entry points.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "Optimal Refresh" in out or "optimal_refresh" in out
+        assert "dual_dab" in out
+        assert "window guarantee holds? True" in out
+
+    def test_threshold_alert(self, capsys):
+        out = run_example("threshold_alert.py", capsys)
+        assert ">>> alert at step" in out
+        assert "replans:" in out
+
+    def test_qab_negotiation(self, capsys):
+        out = run_example("qab_negotiation.py", capsys)
+        assert "most renegotiable bound" in out
+        assert "predicted objective change" in out
+
+
+class TestExamplesExist:
+    @pytest.mark.parametrize("name", [
+        "quickstart.py", "global_portfolio.py", "arbitrage_monitor.py",
+        "oil_spill_tracking.py", "threshold_alert.py", "qab_negotiation.py",
+    ])
+    def test_present_and_has_main(self, name):
+        source = (EXAMPLES / name).read_text()
+        assert "def main()" in source
+        assert '__main__' in source
+        assert source.lstrip().startswith('"""'), "examples start with a docstring"

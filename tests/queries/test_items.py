@@ -1,0 +1,65 @@
+"""Unit tests for :mod:`repro.queries.items`."""
+
+import pytest
+
+from repro.exceptions import InvalidQueryError
+from repro.queries import DataItem, ItemRegistry
+
+
+class TestDataItem:
+    def test_valid_name(self):
+        item = DataItem("stock_AAPL", description="Apple stock price")
+        assert str(item) == "stock_AAPL"
+        assert item.description == "Apple stock price"
+
+    @pytest.mark.parametrize("bad", ["", "1x", "a-b", "a b", "x.y", None, 5])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(InvalidQueryError):
+            DataItem(bad)
+
+    def test_frozen(self):
+        item = DataItem("x")
+        with pytest.raises(AttributeError):
+            item.name = "y"
+
+
+class TestItemRegistry:
+    def test_from_names_preserves_order(self):
+        registry = ItemRegistry.from_names(["b", "a", "c"])
+        assert registry.names == ["b", "a", "c"]
+
+    def test_numbered(self):
+        registry = ItemRegistry.numbered(3, prefix="s")
+        assert registry.names == ["s0", "s1", "s2"]
+
+    def test_numbered_rejects_nonpositive(self):
+        with pytest.raises(InvalidQueryError):
+            ItemRegistry.numbered(0)
+
+    def test_duplicate_rejected(self):
+        registry = ItemRegistry.from_names(["x"])
+        with pytest.raises(InvalidQueryError):
+            registry.register(DataItem("x"))
+
+    def test_get_and_contains(self):
+        registry = ItemRegistry.from_names(["x", "y"])
+        assert registry.get("x").name == "x"
+        assert "y" in registry
+        assert "z" not in registry
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError, match="z"):
+            ItemRegistry.from_names(["x"]).get("z")
+
+    def test_len_and_iter(self):
+        registry = ItemRegistry.numbered(5)
+        assert len(registry) == 5
+        assert [item.name for item in registry] == registry.names
+
+    def test_subset(self):
+        registry = ItemRegistry.numbered(5)
+        sub = registry.subset(["x1", "x3"])
+        assert sub.names == ["x1", "x3"]
+
+    def test_repr(self):
+        assert "3 items" in repr(ItemRegistry.numbered(3))

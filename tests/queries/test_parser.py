@@ -1,0 +1,97 @@
+"""Unit tests for :mod:`repro.queries.parser`."""
+
+import pytest
+
+from repro.exceptions import QueryParseError
+from repro.queries import parse_query
+from repro.queries.parser import parse_terms
+
+
+class TestBasics:
+    def test_paper_running_example(self):
+        q = parse_query("x*y : 5")
+        assert q.qab == 5.0
+        assert q.degree == 2
+        assert q.evaluate({"x": 2.0, "y": 2.0}) == 4.0
+
+    def test_weights_by_juxtaposition(self):
+        q = parse_query("3 x*y - 2 u*v : 5")
+        weights = sorted(t.weight for t in q.terms)
+        assert weights == [-2.0, 3.0]
+
+    def test_explicit_star_between_weight_and_items(self):
+        q = parse_query("3*x*y : 1")
+        assert q.terms[0].weight == 3.0
+
+    def test_powers_both_syntaxes(self):
+        q1 = parse_query("x^2 + y^2 : 1")
+        q2 = parse_query("x**2 + y**2 : 1")
+        assert q1.terms == q2.terms
+
+    def test_leading_minus(self):
+        q = parse_query("-x*y + u*v : 1")
+        assert sorted(t.weight for t in q.terms) == [-1.0, 1.0]
+
+    def test_repeated_item_multiplies(self):
+        q = parse_query("x*x : 1")
+        assert q.terms[0].exponents == {"x": 2}
+
+    def test_scientific_notation_weight(self):
+        q = parse_query("2e2 x : 1")
+        assert q.terms[0].weight == 200.0
+
+    def test_qab_argument_overrides_text(self):
+        q = parse_query("x*y : 5", qab=9.0)
+        assert q.qab == 9.0
+
+    def test_qab_argument_when_missing_in_text(self):
+        q = parse_query("x*y", qab=3.0)
+        assert q.qab == 3.0
+
+    def test_name_argument(self):
+        assert parse_query("x : 1", name="named").name == "named"
+
+
+class TestErrors:
+    def test_missing_qab(self):
+        with pytest.raises(QueryParseError, match="no QAB"):
+            parse_query("x*y")
+
+    def test_unexpected_character(self):
+        with pytest.raises(QueryParseError, match="unexpected character"):
+            parse_query("x @ y : 1")
+
+    def test_fractional_exponent(self):
+        with pytest.raises(QueryParseError, match="integers"):
+            parse_query("x^1.5 : 1")
+
+    def test_constant_only_term(self):
+        with pytest.raises(QueryParseError, match="constant"):
+            parse_query("5 : 1")
+
+    def test_dangling_operator(self):
+        with pytest.raises(QueryParseError):
+            parse_query("x + : 1")
+
+    def test_empty_input(self):
+        with pytest.raises(QueryParseError):
+            parse_query("")
+
+    def test_error_carries_position(self):
+        try:
+            parse_query("x @ y : 1")
+        except QueryParseError as error:
+            assert error.position == 2
+            assert "x @ y : 1" in str(error)
+        else:  # pragma: no cover
+            pytest.fail("expected QueryParseError")
+
+
+class TestParseTerms:
+    def test_terms_only(self):
+        terms = parse_terms("x*y + 2 u")
+        assert len(terms) == 2
+
+    def test_terms_only_rejects_qab(self):
+        with pytest.raises(QueryParseError):
+            parse_terms("x : 5")

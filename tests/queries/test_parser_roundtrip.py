@@ -1,0 +1,65 @@
+"""Property test: queries survive a format → parse round trip."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.queries import PolynomialQuery, QueryTerm, parse_query
+
+item_names = ["alpha", "b2", "x", "y_z"]
+weights = st.floats(min_value=0.001, max_value=1000.0, allow_nan=False)
+powers = st.integers(min_value=1, max_value=4)
+qabs = st.floats(min_value=0.001, max_value=1e6, allow_nan=False)
+
+
+@st.composite
+def random_queries(draw):
+    term_count = draw(st.integers(min_value=1, max_value=4))
+    terms = []
+    signatures = set()
+    for index in range(term_count):
+        names = draw(st.permutations(item_names))[
+            : draw(st.integers(min_value=1, max_value=3))]
+        exponents = {name: draw(powers) for name in names}
+        signature = tuple(sorted(exponents.items()))
+        if signature in signatures:
+            continue  # avoid like terms combining and changing counts
+        signatures.add(signature)
+        sign = -1.0 if draw(st.booleans()) and index > 0 else 1.0
+        terms.append(QueryTerm(sign * draw(weights), exponents))
+    return PolynomialQuery(terms, qab=draw(qabs))
+
+
+def format_query(query: PolynomialQuery) -> str:
+    """Render a query in the parser's input syntax."""
+    pieces = []
+    for index, term in enumerate(query.terms):
+        body = "*".join(
+            name if exp == 1 else f"{name}^{exp}" for name, exp in term.key)
+        weight = abs(term.weight)
+        sign = "-" if term.weight < 0 else ("+" if index else "")
+        pieces.append(f"{sign} {weight!r} {body}")
+    return " ".join(pieces) + f" : {query.qab!r}"
+
+
+class TestRoundTrip:
+    @given(random_queries())
+    @settings(max_examples=100, deadline=None)
+    def test_format_parse_identity(self, query):
+        text = format_query(query)
+        parsed = parse_query(text, name=query.name)
+        assert len(parsed.terms) == len(query.terms)
+        assert parsed.qab == pytest.approx(query.qab, rel=1e-12)
+        original = {t.key: t.weight for t in query.terms}
+        for term in parsed.terms:
+            assert term.key in original
+            assert term.weight == pytest.approx(original[term.key], rel=1e-12)
+
+    @given(random_queries(), st.dictionaries(
+        st.sampled_from(item_names),
+        st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+        min_size=len(item_names), max_size=len(item_names)))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_preserves_evaluation(self, query, values):
+        parsed = parse_query(format_query(query))
+        assert parsed.evaluate(values) == pytest.approx(
+            query.evaluate(values), rel=1e-9)

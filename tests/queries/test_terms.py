@@ -1,0 +1,90 @@
+"""Unit tests for :mod:`repro.queries.terms`."""
+
+import pytest
+
+from repro.exceptions import InvalidQueryError
+from repro.queries import QueryTerm
+
+
+class TestConstruction:
+    def test_basic(self):
+        term = QueryTerm(3.0, {"x": 1, "y": 2})
+        assert term.weight == 3.0
+        assert term.exponents == {"x": 1, "y": 2}
+        assert term.degree == 3
+
+    def test_product_factory_counts_repeats(self):
+        term = QueryTerm.product(2.0, "x", "x", "y")
+        assert term.exponents == {"x": 2, "y": 1}
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            QueryTerm(0.0, {"x": 1})
+
+    def test_nan_weight_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            QueryTerm(float("nan"), {"x": 1})
+
+    def test_fractional_exponent_rejected(self):
+        with pytest.raises(InvalidQueryError, match="integer"):
+            QueryTerm(1.0, {"x": 1.5})
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            QueryTerm(1.0, {"x": -1})
+
+    def test_zero_exponent_items_dropped(self):
+        term = QueryTerm(1.0, {"x": 0, "y": 1})
+        assert term.variables == ("y",)
+
+    def test_all_zero_exponents_rejected(self):
+        with pytest.raises(InvalidQueryError, match="at least one"):
+            QueryTerm(1.0, {"x": 0})
+
+    def test_integral_float_exponent_accepted(self):
+        term = QueryTerm(1.0, {"x": 2.0})
+        assert term.exponents == {"x": 2}
+
+
+class TestSemantics:
+    def test_evaluate(self):
+        term = QueryTerm(2.0, {"x": 2, "y": 1})
+        assert term.evaluate({"x": 3.0, "y": 4.0}) == pytest.approx(72.0)
+
+    def test_evaluate_missing_item(self):
+        with pytest.raises(KeyError, match="y"):
+            QueryTerm(1.0, {"y": 1}).evaluate({"x": 1.0})
+
+    def test_is_positive_and_neg(self):
+        term = QueryTerm(2.0, {"x": 1})
+        assert term.is_positive
+        assert not (-term).is_positive
+        assert (-term).weight == -2.0
+        assert (-term).abs() == term
+
+    def test_is_linear(self):
+        assert QueryTerm(1.0, {"x": 1}).is_linear
+        assert not QueryTerm(1.0, {"x": 2}).is_linear
+
+    def test_with_weight_and_scaled(self):
+        term = QueryTerm(2.0, {"x": 1})
+        assert term.with_weight(5.0).weight == 5.0
+        assert term.scaled(0.5).weight == 1.0
+
+    def test_exponent_of(self):
+        term = QueryTerm(1.0, {"x": 2})
+        assert term.exponent_of("x") == 2
+        assert term.exponent_of("z") == 0
+
+    def test_equality_and_hash(self):
+        a = QueryTerm(2.0, {"x": 1, "y": 1})
+        b = QueryTerm(2.0, {"y": 1, "x": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != QueryTerm(2.0, {"x": 1})
+
+    def test_key_excludes_weight(self):
+        assert QueryTerm(1.0, {"x": 1}).key == QueryTerm(9.0, {"x": 1}).key
+
+    def test_repr(self):
+        assert "x^2" in repr(QueryTerm(1.0, {"x": 2}))

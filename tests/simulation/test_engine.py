@@ -1,0 +1,91 @@
+"""Tests for the event loop."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation import Event, EventKind
+from repro.simulation.engine import SimulationEngine
+
+
+class TestTicking:
+    def test_all_ticks_fire_in_order(self):
+        engine = SimulationEngine(duration=5)
+        seen = []
+        engine.on_tick(seen.append)
+        engine.run()
+        assert seen == [0, 1, 2, 3, 4, 5]
+
+    def test_fidelity_samples_interleave(self):
+        engine = SimulationEngine(duration=3)
+        order = []
+        engine.on_tick(lambda t: order.append(("tick", t)))
+        engine.on_fidelity_sample(lambda t: order.append(("sample", t)))
+        engine.run()
+        # each sample happens after its tick and before the next one
+        assert order == [
+            ("tick", 0), ("sample", 0),
+            ("tick", 1), ("sample", 1),
+            ("tick", 2), ("sample", 2),
+            ("tick", 3), ("sample", 3),
+        ]
+
+    def test_fidelity_interval(self):
+        engine = SimulationEngine(duration=6, fidelity_interval=3)
+        samples = []
+        engine.on_fidelity_sample(samples.append)
+        engine.run()
+        assert samples == [0, 3, 6]
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine(duration=0)
+        with pytest.raises(SimulationError):
+            SimulationEngine(duration=5, fidelity_interval=0)
+
+
+class TestDispatch:
+    def test_handler_called_with_event(self):
+        engine = SimulationEngine(duration=2)
+        received = []
+        engine.on(EventKind.REFRESH_ARRIVAL, received.append)
+        engine.queue.push(Event(0.7, EventKind.REFRESH_ARRIVAL, {"item": "x"}))
+        engine.run()
+        assert len(received) == 1
+        assert received[0].payload["item"] == "x"
+
+    def test_duplicate_handler_rejected(self):
+        engine = SimulationEngine(duration=1)
+        engine.on(EventKind.REFRESH_ARRIVAL, lambda e: None)
+        with pytest.raises(SimulationError):
+            engine.on(EventKind.REFRESH_ARRIVAL, lambda e: None)
+
+    def test_missing_handler_raises(self):
+        engine = SimulationEngine(duration=1)
+        engine.queue.push(Event(0.5, EventKind.REFRESH_ARRIVAL, {}))
+        with pytest.raises(SimulationError, match="no handler"):
+            engine.run()
+
+    def test_events_beyond_horizon_dropped(self):
+        engine = SimulationEngine(duration=2)
+        received = []
+        engine.on(EventKind.REFRESH_ARRIVAL, received.append)
+        engine.queue.push(Event(10.0, EventKind.REFRESH_ARRIVAL, {}))
+        engine.run()
+        assert received == []
+
+    def test_handlers_can_push_events(self):
+        """A handler scheduling follow-up work (e.g. a requeued refresh)
+        must see it processed in the same run."""
+        engine = SimulationEngine(duration=3)
+        log = []
+
+        def handler(event):
+            log.append(event.time)
+            if event.payload.get("chain"):
+                engine.queue.push(Event(event.time + 1.0,
+                                        EventKind.REFRESH_ARRIVAL, {}))
+
+        engine.on(EventKind.REFRESH_ARRIVAL, handler)
+        engine.queue.push(Event(0.5, EventKind.REFRESH_ARRIVAL, {"chain": True}))
+        engine.run()
+        assert log == [0.5, 1.5]

@@ -1,0 +1,50 @@
+"""Tests for the event queue primitives."""
+
+import pytest
+
+from repro.simulation import Event, EventKind, EventQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        queue = EventQueue()
+        queue.push(Event(3.0, EventKind.TICK))
+        queue.push(Event(1.0, EventKind.TICK))
+        queue.push(Event(2.0, EventKind.TICK))
+        times = [queue.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_fifo_within_same_time(self):
+        queue = EventQueue()
+        first = Event(1.0, EventKind.REFRESH_ARRIVAL, {"item": "a"})
+        second = Event(1.0, EventKind.REFRESH_ARRIVAL, {"item": "b"})
+        queue.push(first)
+        queue.push(second)
+        assert queue.pop().payload["item"] == "a"
+        assert queue.pop().payload["item"] == "b"
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(Event(5.0, EventKind.TICK))
+        assert queue.peek_time() == 5.0
+        assert len(queue) == 1  # peek does not pop
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(Event(-1.0, EventKind.TICK))
+
+    def test_bool_and_len(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(Event(1.0, EventKind.TICK))
+        assert queue and len(queue) == 1
+
+    def test_event_is_frozen(self):
+        event = Event(1.0, EventKind.TICK)
+        with pytest.raises(AttributeError):
+            event.time = 2.0

@@ -1,0 +1,82 @@
+"""End-to-end LAQ support: linear queries through the full simulator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.dynamics import Trace, TraceSet
+from repro.filters import CostModel
+from repro.filters.laq import LAQPlanner
+from repro.queries import parse_query
+from repro.simulation import SimulationConfig, run_simulation
+
+
+@pytest.fixture(scope="module")
+def linear_world():
+    rng = np.random.default_rng(3)
+    traces = TraceSet([
+        Trace(name, 100.0 + np.cumsum(rng.normal(scale=0.2, size=241)))
+        for name in ("a", "b", "c", "d")
+    ])
+    queries = [
+        parse_query("2 a + 3 b : 4", name="laq1"),
+        parse_query("a + c + d : 3", name="laq2"),
+    ]
+    return queries, traces
+
+
+class TestLAQPlanner:
+    def test_plan_has_unbounded_window(self, linear_world):
+        queries, traces = linear_world
+        model = CostModel(rates={n: 0.2 for n in traces.items})
+        plan = LAQPlanner(model).plan(queries[0], traces.initial_values())
+        assert plan.is_dual
+        # any realistic drift stays inside the window
+        drifted = {n: v * 100 for n, v in traces.initial_values().items()}
+        assert plan.window_contains(drifted)
+
+
+class TestLAQSimulation:
+    def test_runs_with_zero_recomputations(self, linear_world):
+        """LAQ DABs are value-free: no recomputation should ever happen."""
+        queries, traces = linear_world
+        config = SimulationConfig(
+            queries=queries, traces=traces, algorithm="laq",
+            recompute_cost=5.0, source_count=2, seed=3, fidelity_interval=2,
+        )
+        metrics = run_simulation(config).metrics
+        assert metrics.refreshes > 0
+        assert metrics.recomputations == 0
+
+    def test_zero_delay_fidelity(self, linear_world):
+        queries, traces = linear_world
+        config = SimulationConfig(
+            queries=queries, traces=traces, algorithm="laq",
+            recompute_cost=5.0, source_count=2, seed=3, zero_delay=True,
+            fidelity_interval=1,
+        )
+        metrics = run_simulation(config).metrics
+        assert metrics.fidelity_loss_percent == 0.0
+
+    def test_nonlinear_query_rejected(self, linear_world):
+        _queries, traces = linear_world
+        bad = [parse_query("a*b : 5", name="nl")]
+        config = SimulationConfig(queries=bad, traces=traces, algorithm="laq",
+                                  source_count=2)
+        with pytest.raises(SimulationError, match="degree-1"):
+            run_simulation(config)
+
+    def test_laq_beats_polynomial_machinery_on_refreshes(self, linear_world):
+        """For linear queries the closed form is optimal in refreshes; the
+        general dual-DAB path (which treats them as degree-1 posynomials)
+        must not beat it."""
+        queries, traces = linear_world
+        results = {}
+        for algorithm in ("laq", "dual_dab"):
+            config = SimulationConfig(
+                queries=queries, traces=traces, algorithm=algorithm,
+                recompute_cost=5.0, source_count=2, seed=3, fidelity_interval=4,
+            )
+            results[algorithm] = run_simulation(config).metrics
+        assert results["laq"].refreshes <= results["dual_dab"].refreshes * 1.3
+        assert results["laq"].recomputations <= results["dual_dab"].recomputations

@@ -1,0 +1,68 @@
+"""Tests for the metrics collector (the paper's four metrics)."""
+
+import pytest
+
+from repro.simulation import MetricsCollector, QueryFidelity
+
+
+class TestQueryFidelity:
+    def test_unobserved_is_perfect(self):
+        assert QueryFidelity().fidelity == 1.0
+        assert QueryFidelity().loss_percent == 0.0
+
+    def test_accounting(self):
+        f = QueryFidelity()
+        for ok in (True, True, False, True):
+            f.record(ok)
+        assert f.fidelity == pytest.approx(0.75)
+        assert f.loss_percent == pytest.approx(25.0)
+
+
+class TestMetricsCollector:
+    def test_refresh_and_recompute_counters(self):
+        m = MetricsCollector(recompute_cost=5.0)
+        m.record_refresh()
+        m.record_refresh(3)
+        m.record_recomputation("q1")
+        m.record_recomputation("q1")
+        m.record_recomputation("q2")
+        assert m.refreshes == 4
+        assert m.recomputations == 3
+        summary = m.summary()
+        assert summary.recomputations_per_query == {"q1": 2, "q2": 1}
+
+    def test_total_cost_formula(self):
+        """Total cost = refreshes + μ · recomputations (paper metric 4)."""
+        m = MetricsCollector(recompute_cost=5.0)
+        m.record_refresh(100)
+        for _ in range(7):
+            m.record_recomputation("q")
+        assert m.summary().total_cost == pytest.approx(100 + 5.0 * 7)
+
+    def test_mean_fidelity_loss_across_queries(self):
+        m = MetricsCollector(recompute_cost=1.0)
+        for _ in range(4):
+            m.record_fidelity("good", True)
+        m.record_fidelity("bad", True)
+        m.record_fidelity("bad", False)
+        # good: 0% loss, bad: 50% loss -> mean 25%
+        assert m.mean_fidelity_loss_percent() == pytest.approx(25.0)
+        summary = m.summary()
+        assert summary.per_query_loss_percent["bad"] == pytest.approx(50.0)
+        assert summary.fidelity_loss_percent == pytest.approx(25.0)
+
+    def test_no_queries_means_no_loss(self):
+        assert MetricsCollector(1.0).mean_fidelity_loss_percent() == 0.0
+
+    def test_auxiliary_counters(self):
+        m = MetricsCollector(recompute_cost=1.0)
+        m.record_dab_change_messages(4)
+        m.record_user_notification()
+        m.record_gp_solves(9)
+        m.record_tick()
+        m.record_tick()
+        summary = m.summary()
+        assert summary.dab_change_messages == 4
+        assert summary.user_notifications == 1
+        assert summary.gp_solves == 9
+        assert summary.duration_ticks == 2

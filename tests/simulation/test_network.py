@@ -1,0 +1,60 @@
+"""Tests for the delay models."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation import ConstantDelayModel, ParetoDelayModel, ZeroDelayModel
+from repro.simulation.network import paper_delay_models
+
+
+class TestSimpleModels:
+    def test_zero(self):
+        model = ZeroDelayModel()
+        assert model.sample() == 0.0
+        assert model.mean == 0.0
+
+    def test_constant(self):
+        model = ConstantDelayModel(0.25)
+        assert model.sample() == 0.25
+        assert model.mean == 0.25
+
+    def test_constant_validation(self):
+        with pytest.raises(SimulationError):
+            ConstantDelayModel(-0.1)
+
+
+class TestPareto:
+    def test_mean_matches_request(self):
+        model = ParetoDelayModel(0.110, rng=np.random.default_rng(0))
+        samples = np.array([model.sample() for _ in range(200_000)])
+        assert samples.mean() == pytest.approx(0.110, rel=0.05)
+
+    def test_minimum_is_scale(self):
+        model = ParetoDelayModel(0.110, shape=2.5, rng=np.random.default_rng(0))
+        samples = [model.sample() for _ in range(10_000)]
+        assert min(samples) >= model.scale
+
+    def test_heavy_tail(self):
+        """A Pareto with shape 2.5 produces occasional delays far above the
+        mean — the variability the paper attributes PlanetLab noise to."""
+        model = ParetoDelayModel(0.110, rng=np.random.default_rng(0))
+        samples = np.array([model.sample() for _ in range(100_000)])
+        assert samples.max() > 5 * samples.mean()
+
+    def test_deterministic_with_seed(self):
+        a = ParetoDelayModel(0.1, seed=7)
+        b = ParetoDelayModel(0.1, seed=7)
+        assert [a.sample() for _ in range(5)] == [b.sample() for _ in range(5)]
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ParetoDelayModel(0.0)
+        with pytest.raises(SimulationError):
+            ParetoDelayModel(0.1, shape=1.0)
+
+    def test_paper_triple(self):
+        network, check, push = paper_delay_models(seed=3)
+        assert network.mean == pytest.approx(0.110)
+        assert check.mean == pytest.approx(0.004)
+        assert push.mean == pytest.approx(0.001)

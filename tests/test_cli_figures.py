@@ -1,0 +1,35 @@
+"""CLI figure subcommands at micro scale (the heavier paths)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestFigureCommands:
+    def test_fig7_runs(self, capsys):
+        code = main(["figures", "fig7", "--queries", "2", "--mus", "1",
+                     "--items", "16", "--trace-length", "61"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EQI" in out and "AAO-" in out
+        assert "refreshes" in out and "total_cost" in out
+
+    def test_fig8a_runs(self, capsys):
+        code = main(["figures", "fig8a", "--queries", "2", "--mus", "1",
+                     "--items", "16", "--trace-length", "61"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "HH, mu=1" in out and "DS, mu=1" in out
+
+    def test_timing_runs(self, capsys):
+        code = main(["figures", "timing", "--queries", "2", "--items", "16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dual_dab_cold_ms" in out
+
+    def test_plan_signomial_via_simulate(self, capsys):
+        code = main(["simulate", "--queries", "2", "--items", "16",
+                     "--duration", "40", "--workload", "arbitrage",
+                     "--algorithm", "signomial", "--fidelity-interval", "10"])
+        assert code == 0
+        assert "refreshes" in capsys.readouterr().out

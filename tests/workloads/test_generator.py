@@ -1,0 +1,119 @@
+"""Tests for the 80-20 workload generator (paper Section V-A)."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.queries import ItemRegistry
+from repro.workloads import (
+    WorkloadConfig,
+    generate_arbitrage_queries,
+    generate_portfolio_queries,
+    split_items_80_20,
+)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return ItemRegistry.numbered(100)
+
+
+@pytest.fixture(scope="module")
+def initial_values(registry):
+    return {name: 50.0 + i for i, name in enumerate(registry.names)}
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"group1_fraction": 0.0},
+        {"group1_probability": 1.5},
+        {"pairs_per_query": (0, 3)},
+        {"pairs_per_query": (5, 3)},
+        {"weight_range": (0.0, 10.0)},
+        {"shared_item_probability": -0.1},
+    ])
+    def test_bad_configs(self, kwargs):
+        with pytest.raises(SimulationError):
+            WorkloadConfig(**kwargs)
+
+
+class TestSplit:
+    def test_80_20_split(self, registry):
+        group1, group2 = split_items_80_20(registry)
+        assert len(group1) == 20
+        assert len(group2) == 80
+        assert set(group1) | set(group2) == set(registry.names)
+
+
+class TestPortfolioQueries:
+    def test_paper_shape(self, registry, initial_values):
+        queries = generate_portfolio_queries(registry, initial_values, 30, seed=1)
+        assert len(queries) == 30
+        for q in queries:
+            assert q.is_positive_coefficient
+            assert q.degree == 2
+            # 12-14 distinct items per query
+            assert 12 <= len(q.variables) <= 14
+            # weights in [1, 100]
+            assert all(1.0 <= t.weight <= 100.0 for t in q.terms)
+
+    def test_qab_one_percent_of_initial(self, registry, initial_values):
+        queries = generate_portfolio_queries(registry, initial_values, 5, seed=2)
+        for q in queries:
+            assert q.qab == pytest.approx(0.01 * q.evaluate(initial_values), rel=1e-9)
+
+    def test_group1_dominates(self, registry, initial_values):
+        """~80 % of item references should hit the hot 20 % of the items."""
+        queries = generate_portfolio_queries(registry, initial_values, 50, seed=3)
+        group1, _ = split_items_80_20(registry)
+        hot = set(group1)
+        hits = sum(1 for q in queries for v in q.variables if v in hot)
+        total = sum(len(q.variables) for q in queries)
+        assert 0.6 < hits / total < 0.95
+
+    def test_reproducible(self, registry, initial_values):
+        a = generate_portfolio_queries(registry, initial_values, 5, seed=4)
+        b = generate_portfolio_queries(registry, initial_values, 5, seed=4)
+        assert [q.terms for q in a] == [q.terms for q in b]
+
+    def test_unique_names(self, registry, initial_values):
+        queries = generate_portfolio_queries(registry, initial_values, 10, seed=5)
+        names = [q.name for q in queries]
+        assert len(set(names)) == len(names)
+
+    def test_items_distinct_within_query(self, registry, initial_values):
+        queries = generate_portfolio_queries(registry, initial_values, 20, seed=6)
+        for q in queries:
+            items = [n for t in q.terms for n in t.variables]
+            assert len(items) == len(set(items))
+
+
+class TestArbitrageQueries:
+    def test_mixed_signs(self, registry, initial_values):
+        queries = generate_arbitrage_queries(registry, initial_values, 10, seed=7)
+        for q in queries:
+            assert not q.is_positive_coefficient
+            p1, p2 = q.split()
+            assert p1 and p2
+
+    def test_independent_by_default(self, registry, initial_values):
+        queries = generate_arbitrage_queries(registry, initial_values, 20, seed=8)
+        assert all(q.halves_are_independent() for q in queries)
+
+    def test_dependent_with_sharing(self, registry, initial_values):
+        config = WorkloadConfig(shared_item_probability=1.0)
+        queries = generate_arbitrage_queries(registry, initial_values, 20,
+                                             config=config, seed=9)
+        dependent = [q for q in queries if not q.halves_are_independent()]
+        assert len(dependent) >= len(queries) // 2
+
+    def test_qab_positive_even_near_zero_value(self, registry, initial_values):
+        queries = generate_arbitrage_queries(registry, initial_values, 30, seed=10)
+        assert all(q.qab > 0 for q in queries)
+
+    def test_too_small_population_rejected(self, initial_values):
+        tiny = ItemRegistry.numbered(4)
+        values = {name: 10.0 for name in tiny.names}
+        with pytest.raises(SimulationError, match="not enough items"):
+            generate_portfolio_queries(tiny, values, 1,
+                                       config=WorkloadConfig(pairs_per_query=(7, 7)),
+                                       seed=0)

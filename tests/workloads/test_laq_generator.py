@@ -1,0 +1,60 @@
+"""Tests for the LAQ workload generator."""
+
+import pytest
+
+from repro.filters import CostModel, assign_laq
+from repro.queries import ItemRegistry
+from repro.workloads import generate_laq_queries
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return ItemRegistry.numbered(60)
+
+
+@pytest.fixture(scope="module")
+def initial_values(registry):
+    return {name: 40.0 + i for i, name in enumerate(registry.names)}
+
+
+class TestLaqGenerator:
+    def test_all_linear(self, registry, initial_values):
+        queries = generate_laq_queries(registry, initial_values, 15, seed=1)
+        assert len(queries) == 15
+        for q in queries:
+            assert q.is_linear
+            assert q.is_positive_coefficient
+            assert 12 <= len(q.variables) <= 14
+
+    def test_qab_fraction(self, registry, initial_values):
+        queries = generate_laq_queries(registry, initial_values, 5, seed=2)
+        for q in queries:
+            assert q.qab == pytest.approx(0.01 * q.evaluate(initial_values),
+                                          rel=1e-9)
+
+    def test_reproducible(self, registry, initial_values):
+        a = generate_laq_queries(registry, initial_values, 4, seed=3)
+        b = generate_laq_queries(registry, initial_values, 4, seed=3)
+        assert [q.terms for q in a] == [q.terms for q in b]
+
+    def test_feeds_closed_form_directly(self, registry, initial_values):
+        """The generated queries plug straight into the LAQ closed form."""
+        queries = generate_laq_queries(registry, initial_values, 3, seed=4)
+        model = CostModel(rates={name: 0.1 for name in registry.names})
+        for q in queries:
+            plan = assign_laq(q, model)
+            assert set(plan.primary) == set(q.variables)
+
+    def test_end_to_end_simulation(self, registry, initial_values):
+        from repro.simulation import SimulationConfig, run_simulation
+        from repro.workloads import paper_traces
+
+        small = ItemRegistry.numbered(20)
+        traces = paper_traces(small, length=121, seed=5)
+        queries = generate_laq_queries(small, traces.initial_values(), 3, seed=5)
+        config = SimulationConfig(queries=queries, traces=traces,
+                                  algorithm="laq", recompute_cost=2.0,
+                                  source_count=4, seed=5, fidelity_interval=4)
+        metrics = run_simulation(config).metrics
+        assert metrics.refreshes > 0
+        assert metrics.recomputations == 0

@@ -1,0 +1,57 @@
+"""Tests for named scenarios."""
+
+import pytest
+
+from repro.workloads import paper_registry, paper_traces, scaled_scenario
+from repro.workloads.scenarios import PAPER_ITEM_COUNT
+
+
+class TestPaperDefaults:
+    def test_registry_scale(self):
+        assert len(paper_registry()) == PAPER_ITEM_COUNT == 100
+
+    def test_traces_kinds(self):
+        registry = paper_registry(5)
+        for kind in ("gbm", "random_walk", "monotonic"):
+            traces = paper_traces(registry, length=50, kind=kind, seed=1)
+            assert len(traces) == 5
+            assert traces.duration == 49
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown trace kind"):
+            paper_traces(paper_registry(2), length=50, kind="levy")
+
+    def test_generator_kwargs_forwarded(self):
+        registry = paper_registry(2)
+        quiet = paper_traces(registry, 200, kind="gbm", seed=3, volatility=0.0001)
+        noisy = paper_traces(registry, 200, kind="gbm", seed=3, volatility=0.01)
+        import numpy as np
+
+        def movement(tr):
+            return float(np.abs(np.diff(tr["x0"].values)).mean())
+        assert movement(noisy) > movement(quiet)
+
+
+class TestScaledScenario:
+    def test_portfolio(self):
+        sc = scaled_scenario(query_count=3, item_count=20, trace_length=60,
+                             source_count=4, seed=1)
+        assert len(sc.queries) == 3
+        assert all(q.is_positive_coefficient for q in sc.queries)
+        assert sc.source_count == 4
+        assert set(sc.initial_values) == set(sc.registry.names)
+
+    def test_arbitrage(self):
+        sc = scaled_scenario(query_count=3, item_count=20, trace_length=60,
+                             query_kind="arbitrage", seed=1)
+        assert all(not q.is_positive_coefficient for q in sc.queries)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown query kind"):
+            scaled_scenario(query_count=1, query_kind="join")
+
+    def test_all_query_items_have_traces(self):
+        sc = scaled_scenario(query_count=5, item_count=25, trace_length=60, seed=2)
+        for q in sc.queries:
+            for item in q.variables:
+                assert item in sc.traces
