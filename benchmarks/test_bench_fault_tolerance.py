@@ -1,0 +1,121 @@
+"""Fault tolerance — fidelity degradation under loss and source crashes.
+
+Not a paper figure: the paper's evaluation assumes reliable delivery.
+This bench measures how the recovery protocol (epochs, leases, heartbeat
+gap detection, ack/retry) degrades when that assumption is dropped — the
+requirement is *graceful* degradation: fidelity loss grows with the fault
+rate but never collapses, and every run completes with honest staleness
+accounting.
+
+QABs are tightened to 30% of their generated values (and fidelity sampled
+every tick, random-walk dynamics) so the laptop-scale run is actually
+sensitive to lost refreshes; at the default QABs the filters are loose
+enough that even 20% loss is invisible.
+"""
+
+import pytest
+
+from repro.experiments import fault_sweep_rows, format_table
+from repro.simulation import (
+    CrashWindow,
+    FaultConfig,
+    SimulationConfig,
+    run_simulation,
+)
+from repro.workloads import scaled_scenario
+
+LOSS_RATES = (0.0, 0.02, 0.05, 0.1, 0.2)
+CRASH_DURATIONS = (0.0, 25.0, 50.0, 100.0)
+#: The mid-run crash used by the loss sweep (source 1 down for 50 ticks).
+CRASH = CrashWindow(1, 60.0, 110.0)
+
+
+@pytest.fixture(scope="module")
+def world():
+    scenario = scaled_scenario(query_count=5, item_count=20, trace_length=201,
+                               source_count=4, seed=13)
+    queries = [q.with_qab(q.qab * 0.3) for q in scenario.queries]
+    return scenario, queries
+
+
+def run_with(world, fault_config):
+    scenario, queries = world
+    config = SimulationConfig(queries=queries, traces=scenario.traces,
+                              recompute_cost=5.0, source_count=4, seed=13,
+                              fidelity_interval=1, ddm="random_walk",
+                              fault_config=fault_config)
+    return run_simulation(config).metrics
+
+
+@pytest.fixture(scope="module")
+def loss_sweep(world):
+    runs = []
+    for loss in LOSS_RATES:
+        faults = FaultConfig(loss_rate=loss, crash_windows=(CRASH,))
+        runs.append((f"loss={loss:g}", run_with(world, faults)))
+    return runs
+
+
+@pytest.fixture(scope="module")
+def crash_sweep(world):
+    runs = []
+    for duration in CRASH_DURATIONS:
+        windows = (CrashWindow(1, 60.0, 60.0 + duration),) if duration else ()
+        faults = FaultConfig(loss_rate=0.05, crash_windows=windows)
+        runs.append((f"crash={duration:g}s", run_with(world, faults)))
+    return runs
+
+
+def test_zero_fault_config_equals_fault_free_run(benchmark, world):
+    """A disabled FaultConfig must reproduce the fault-free run exactly —
+    the bench's baseline row is the true no-fault simulator."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert run_with(world, FaultConfig()) == run_with(world, None)
+
+
+def test_fidelity_degrades_gracefully_with_loss(benchmark, loss_sweep,
+                                                save_table):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = fault_sweep_rows(loss_sweep)
+    save_table("fault_loss_sweep",
+               format_table(rows, "Fault tolerance: loss-rate sweep "
+                                  "(crash of source 1 at t=60..110)"))
+    losses = [m.fidelity_loss_percent for _label, m in loss_sweep]
+    # Graceful, not collapsing: the heaviest loss rate hurts at least as
+    # much as the fault-free-network run (small non-monotone wiggles are
+    # expected — dropping a message also removes its downstream traffic).
+    assert losses[-1] >= losses[0] - 0.5
+    assert max(losses) < 50.0, "fidelity must degrade, not collapse"
+    dropped = [m.messages_dropped for _label, m in loss_sweep]
+    assert dropped[1] > 0 and dropped[-1] > dropped[1]
+
+
+def test_recovery_protocol_engages_under_loss(benchmark, loss_sweep):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for label, metrics in loss_sweep:
+        assert metrics.recovery_resyncs == 1, label      # one crash, one resync
+        assert metrics.heartbeats > 0, label
+        assert metrics.staleness_exposure_seconds > 0.0, label
+        assert metrics.value_probes > 0, label
+        # Honest uncertainty: degraded answers are flagged, and the widened
+        # bound covers the truth in the overwhelming majority of samples.
+        assert metrics.degraded_samples > 0, label
+        assert (metrics.uncertainty_violations
+                <= 0.25 * metrics.degraded_samples), label
+    lossy = [m for label, m in loss_sweep[1:]]
+    assert any(m.refresh_gaps > 0 for m in lossy), \
+        "heartbeat sequence gaps must detect lost refreshes"
+
+
+def test_longer_crashes_cost_more_staleness(benchmark, crash_sweep,
+                                            save_table):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = fault_sweep_rows(crash_sweep)
+    save_table("fault_crash_sweep",
+               format_table(rows, "Fault tolerance: crash-duration sweep "
+                                  "(5% loss)"))
+    exposures = [m.staleness_exposure_seconds for _label, m in crash_sweep]
+    # Staleness exposure grows with how long the source stays dark.
+    assert exposures[-1] > exposures[1] > 0.0
+    losses = [m.fidelity_loss_percent for _label, m in crash_sweep]
+    assert max(losses) < 50.0

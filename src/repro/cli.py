@@ -79,7 +79,31 @@ def cmd_plan(args: argparse.Namespace) -> int:
 # simulate
 # ---------------------------------------------------------------------------
 
+def _build_fault_config(args: argparse.Namespace):
+    """A FaultConfig from the simulate flags, or None when nothing is set."""
+    from repro.simulation import (
+        FaultConfig,
+        parse_crash_spec,
+        parse_delay_spike_spec,
+        parse_partition_spec,
+    )
+
+    config = FaultConfig(
+        loss_rate=args.loss_rate,
+        duplicate_rate=args.duplicate_rate,
+        crash_windows=parse_crash_spec(args.crash_spec),
+        partitions=parse_partition_spec(args.partition_spec),
+        delay_spikes=parse_delay_spike_spec(args.delay_spike_spec),
+        seed=args.fault_seed,
+        lease_duration=args.lease_duration,
+        heartbeat_interval=args.heartbeat_interval,
+        retry_timeout=args.retry_timeout,
+    )
+    return config if config.enabled else None
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.experiments import fault_counter_rows, format_table
     from repro.simulation import SimulationConfig, run_simulation
     from repro.workloads import scaled_scenario
 
@@ -88,12 +112,13 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         trace_length=args.duration + 1, source_count=args.sources,
         query_kind=args.workload, seed=args.seed,
     )
+    fault_config = _build_fault_config(args)
     config = SimulationConfig(
         queries=scenario.queries, traces=scenario.traces,
         algorithm=args.algorithm, ddm=args.ddm, recompute_cost=args.mu,
         duration=args.duration, source_count=args.sources, seed=args.seed,
         fidelity_interval=args.fidelity_interval, zero_delay=args.zero_delay,
-        aao_period=args.aao_period,
+        aao_period=args.aao_period, fault_config=fault_config,
     )
     result = run_simulation(config)
     m = result.metrics
@@ -108,6 +133,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"GP solves            {m.gp_solves} "
           f"(cache hits {result.cache_hits})")
     print(f"wall time            {result.wall_seconds:.2f}s")
+    if fault_config is not None:
+        print()
+        print(format_table(fault_counter_rows(m), "Fault injection & recovery"))
     return 0
 
 
@@ -245,6 +273,30 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--fidelity-interval", type=int, default=2)
     simulate.add_argument("--zero-delay", action="store_true")
     simulate.add_argument("--aao-period", type=int, default=None)
+    faults = simulate.add_argument_group(
+        "fault injection",
+        "inject failures and exercise the recovery protocol "
+        "(epochs, leases, ack/retry); all off by default")
+    faults.add_argument("--loss-rate", type=float, default=0.0,
+                        help="per-message loss probability on every link")
+    faults.add_argument("--duplicate-rate", type=float, default=0.0,
+                        help="per-message duplicate-delivery probability")
+    faults.add_argument("--crash-spec", default="",
+                        help='source crash windows, e.g. "2:100:160,5:200:260" '
+                             "(source:start:end)")
+    faults.add_argument("--partition-spec", default="",
+                        help='full-partition windows, e.g. "50:80" (start:end)')
+    faults.add_argument("--delay-spike-spec", default="",
+                        help='delay-spike windows, e.g. "50:80:10" '
+                             "(start:end:factor)")
+    faults.add_argument("--fault-seed", type=int, default=0)
+    faults.add_argument("--lease-duration", type=float, default=20.0,
+                        help="seconds an item may stay unheard-from before "
+                             "it is marked suspect")
+    faults.add_argument("--heartbeat-interval", type=float, default=10.0)
+    faults.add_argument("--retry-timeout", type=float, default=2.0,
+                        help="first DAB-change retransmit timeout (doubles "
+                             "per attempt)")
     simulate.set_defaults(func=cmd_simulate)
 
     figures = sub.add_parser("figures", help="regenerate a paper figure/table")

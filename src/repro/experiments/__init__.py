@@ -12,7 +12,13 @@ from repro.experiments.figures import (
     run_signomial_comparison,
     run_solver_timing,
 )
-from repro.experiments.reporting import format_table, rows_to_csv, series_to_rows
+from repro.experiments.reporting import (
+    fault_counter_rows,
+    fault_sweep_rows,
+    format_table,
+    rows_to_csv,
+    series_to_rows,
+)
 
 __all__ = [
     "ExperimentPoint",
@@ -25,6 +31,8 @@ __all__ = [
     "run_sharfman_comparison",
     "run_signomial_comparison",
     "run_solver_timing",
+    "fault_counter_rows",
+    "fault_sweep_rows",
     "format_table",
     "rows_to_csv",
     "series_to_rows",

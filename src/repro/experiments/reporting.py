@@ -6,9 +6,10 @@ formatting in one place and give tests something structured to assert on.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.figures import ExperimentSeries
+from repro.simulation.metrics import SimulationMetrics
 
 
 def series_to_rows(series: Sequence[ExperimentSeries], metric: str,
@@ -53,6 +54,37 @@ def rows_to_csv(rows: Sequence[Dict[str, float]]) -> str:
     for row in rows:
         lines.append(",".join(fmt(row.get(c)) for c in columns))
     return "\n".join(lines)
+
+
+def fault_counter_rows(metrics: SimulationMetrics,
+                       label: Optional[str] = None) -> List[Dict[str, object]]:
+    """One table row per fault-side counter (drops, retries, leases, ...).
+
+    ``label`` prepends an identifying column, letting sweep benches stack
+    the rows of several runs into one table via :func:`format_table`.
+    """
+    row: Dict[str, object] = {}
+    if label is not None:
+        row["run"] = label
+    row.update(metrics.fault_counters())
+    return [row]
+
+
+def fault_sweep_rows(runs: Sequence[tuple],
+                     metric_names: Sequence[str] = (
+                         "fidelity_loss_percent", "refreshes", "recomputations",
+                         "messages_dropped", "dab_retries", "lease_expiries", "refresh_gaps",
+                         "staleness_exposure_seconds", "degraded_samples",
+                         "uncertainty_violations", "solver_fallbacks",
+                     )) -> List[Dict[str, object]]:
+    """Rows for a fault sweep: ``runs`` is ``[(label, SimulationMetrics)]``."""
+    rows: List[Dict[str, object]] = []
+    for label, metrics in runs:
+        row: Dict[str, object] = {"run": label}
+        for name in metric_names:
+            row[name] = getattr(metrics, name)
+        rows.append(row)
+    return rows
 
 
 def format_table(rows: Sequence[Dict[str, float]], title: str = "") -> str:

@@ -19,6 +19,16 @@ fractional seconds, so events are kept on a continuous timeline.
 """
 
 from repro.simulation.events import Event, EventKind, EventQueue
+from repro.simulation.faults import (
+    CrashWindow,
+    DelaySpike,
+    FaultConfig,
+    FaultModel,
+    PartitionWindow,
+    parse_crash_spec,
+    parse_delay_spike_spec,
+    parse_partition_spec,
+)
 from repro.simulation.network import (
     ConstantDelayModel,
     DelayModel,
@@ -40,6 +50,14 @@ __all__ = [
     "Event",
     "EventKind",
     "EventQueue",
+    "CrashWindow",
+    "DelaySpike",
+    "FaultConfig",
+    "FaultModel",
+    "PartitionWindow",
+    "parse_crash_spec",
+    "parse_delay_spike_spec",
+    "parse_partition_spec",
     "DelayModel",
     "ParetoDelayModel",
     "ConstantDelayModel",

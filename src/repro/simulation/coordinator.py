@@ -17,18 +17,37 @@ policy*:
 
 After recomputations the coordinator ships changed primary DABs to the
 owning sources as DAB-change messages (one message per source notified —
-the overhead μ approximates).
+the overhead μ approximates).  Every bound carries a per-item monotone
+epoch so a source always lands on the newest filter even when the Pareto
+network reorders two in-flight changes.
+
+Under an enabled :class:`~repro.simulation.faults.FaultModel` the
+coordinator additionally runs the degradation protocol:
+
+* **Reliable DAB delivery** — each DAB-change message gets an id and is
+  retransmitted with bounded exponential backoff until the source acks it
+  (application stays idempotent thanks to the epochs).
+* **Staleness leases** — an item unheard-from (refresh or heartbeat) for
+  longer than the lease is marked *suspect*: the coordinator re-requests
+  its value from the owning source and conservatively widens the affected
+  queries' reported uncertainty (:meth:`reported_bound`) instead of
+  serving silently-wrong answers.
+* **Solver-failure degradation** — a runtime GP solve that raises
+  (infeasible / non-convergent) falls back to the previous valid plan, or
+  a uniform single-DAB allocation on cold start; the failure is counted,
+  never raised out of the event loop.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
-from repro.exceptions import SimulationError
+from repro.exceptions import GPError, SimulationError
 from repro.filters.assignment import DABAssignment, merge_primary
 from repro.queries.polynomial import PolynomialQuery
 from repro.simulation.events import Event, EventKind, EventQueue
+from repro.simulation.faults import DISABLED, FaultModel
 from repro.simulation.metrics import MetricsCollector
 from repro.simulation.network import DelayModel, ZeroDelayModel
 
@@ -60,6 +79,7 @@ class Coordinator:
         check_delay: Optional[DelayModel] = None,
         recompute_delay: Optional[DelayModel] = None,
         rate_tracker: Optional[object] = None,
+        fault_model: Optional[FaultModel] = None,
     ):
         if not queries:
             raise SimulationError("a coordinator needs at least one query")
@@ -94,6 +114,7 @@ class Coordinator:
         self.aao_planner = aao_planner
         self.aao_period = aao_period
         self.item_to_source = dict(item_to_source)
+        self.faults = fault_model if fault_model is not None else DISABLED
 
         self.cache: Dict[str, float] = {
             name: float(initial_values[name])
@@ -108,6 +129,25 @@ class Coordinator:
         for query in self.queries:
             for name in query.variables:
                 self.item_index.setdefault(name, []).append(query)
+
+        #: Per-item monotone DAB epoch (incremented on every shipped change).
+        self.epochs: Dict[str, int] = {}
+        # -- reliable-delivery state (fault mode only) ------------------------
+        self._msg_counter = 0
+        #: msg_id -> {"source_id", "bounds", "epochs", "attempt"}
+        self._outstanding: Dict[int, Dict[str, Any]] = {}
+        # -- staleness leases (fault mode only) -------------------------------
+        #: item -> last time a refresh/heartbeat vouched for it.
+        self.last_heard: Dict[str, float] = {name: 0.0 for name in self.item_index}
+        #: item -> highest refresh sequence number received (gap detection).
+        self.last_seq: Dict[str, int] = {}
+        #: item -> time it became suspect (lease expired, value re-requested).
+        self.suspect_since: Dict[str, float] = {}
+        #: item -> last time its staleness exposure was accumulated.
+        self._exposure_accounted: Dict[str, float] = {}
+        self._source_items: Dict[int, List[str]] = {}
+        for name, source_id in self.item_to_source.items():
+            self._source_items.setdefault(source_id, []).append(name)
 
     # -- wiring ---------------------------------------------------------------------
 
@@ -128,15 +168,18 @@ class Coordinator:
             self.queue.push(Event(float(self.aao_period), EventKind.AAO_PERIODIC))
         else:
             for query in self.queries:
-                self.plans[query.name] = self.planner.plan(
-                    query, self._values_for(query)
-                )
+                self.plans[query.name] = self._plan_query(query)
         for query in self.queries:
             self.last_user_values[query.name] = query.evaluate(self.cache)
         merged = merge_primary(self.plans.values())
         self._last_sent_bounds = dict(merged)
-        for source in self._sources.values():
-            source.set_bounds(merged)
+        for source_id, source in self._sources.items():
+            owned = {name: bound for name, bound in merged.items()
+                     if self.item_to_source.get(name) == source_id}
+            source.set_bounds(owned)
+        if self.faults.enabled:
+            interval = self.faults.config.lease_check_interval
+            self.queue.push(Event(interval, EventKind.LEASE_CHECK))
 
     # -- helpers ---------------------------------------------------------------------
 
@@ -146,8 +189,24 @@ class Coordinator:
     def query_value(self, query: PolynomialQuery) -> float:
         return query.evaluate(self.cache)
 
+    def _plan_query(self, query: PolynomialQuery) -> DABAssignment:
+        """One guarded GP solve: solver failures degrade, never escape."""
+        try:
+            return self.planner.plan(query, self._values_for(query))
+        except GPError:
+            self.metrics.record_solver_fallback()
+            previous = self.plans.get(query.name)
+            if previous is not None:
+                return previous
+            # Cold start: no valid plan to keep — fall back to the uniform
+            # single-DAB split, which needs no rate information or solver.
+            from repro.filters.baselines import UniformAllocationBaseline
+
+            return UniformAllocationBaseline().plan(query, self._values_for(query))
+
     def _recompute(self, query: PolynomialQuery) -> None:
-        self.plans[query.name] = self.planner.plan(query, self._values_for(query))
+        plan = self._plan_query(query)
+        self.plans[query.name] = plan
         self.metrics.record_recomputation(query.name)
         self.busy_until += self.recompute_delay.sample()
 
@@ -160,30 +219,113 @@ class Coordinator:
             if previous is not None and abs(bound - previous) <= _DAB_CHANGE_REL_TOL * previous:
                 continue
             self._last_sent_bounds[name] = bound
+            self.epochs[name] = self.epochs.get(name, 0) + 1
             source_id = self.item_to_source.get(name)
             if source_id is not None:
                 changed_by_source.setdefault(source_id, {})[name] = bound
         for source_id, bounds in changed_by_source.items():
+            epochs = {name: self.epochs[name] for name in bounds}
             self.metrics.record_dab_change_messages(1)
+            self._send_dab_change(source_id, bounds, epochs, time)
+
+    def _send_dab_change(self, source_id: int, bounds: Mapping[str, float],
+                         epochs: Mapping[str, int], time: float,
+                         msg_id: Optional[int] = None) -> None:
+        """Deliver one DAB-change message, subject to faults; in fault mode
+        track it for ack/retry."""
+        payload: Dict[str, Any] = {"source_id": source_id, "bounds": dict(bounds),
+                                   "epochs": dict(epochs)}
+        if self.faults.enabled:
+            if msg_id is None:
+                self._msg_counter += 1
+                msg_id = self._msg_counter
+                self._outstanding[msg_id] = {
+                    "source_id": source_id, "bounds": dict(bounds),
+                    "epochs": dict(epochs), "attempt": 0,
+                }
+            payload["msg_id"] = msg_id
             self.queue.push(Event(
-                time=time + self.network_delay.sample(),
-                kind=EventKind.DAB_CHANGE_ARRIVAL,
-                payload={"source_id": source_id, "bounds": bounds},
-            ))
+                time + self.faults.config.retry_timeout, EventKind.RETRY_CHECK,
+                {"msg_id": msg_id}))
+        link = f"coord->src{source_id}"
+        if self.faults.drop(link, time):
+            self.metrics.record_message_dropped()
+            return
+        delay = self.network_delay.sample() * self.faults.delay_factor(time)
+        self.queue.push(Event(time=time + delay, kind=EventKind.DAB_CHANGE_ARRIVAL,
+                              payload=payload))
+        if self.faults.duplicate(link, time):
+            self.metrics.record_message_duplicated()
+            self.queue.push(Event(time=time + self.network_delay.sample(),
+                                  kind=EventKind.DAB_CHANGE_ARRIVAL,
+                                  payload=dict(payload)))
+
+    # -- degradation accounting ------------------------------------------------------
+
+    def _hear_from_item(self, name: str, time: float) -> None:
+        """A refresh (or probe reply) vouched for ``name``: renew its lease
+        and clear any suspicion, closing the staleness-exposure interval."""
+        self.last_heard[name] = time
+        if name in self.suspect_since:
+            accounted = self._exposure_accounted.pop(name, time)
+            self.metrics.record_staleness_exposure(max(0.0, time - accounted))
+            del self.suspect_since[name]
+
+    def suspect_items_of(self, query: PolynomialQuery) -> List[str]:
+        """The query's items currently marked suspect (stale leases)."""
+        return [name for name in query.variables if name in self.suspect_since]
+
+    def reported_bound(self, query: PolynomialQuery, time: float) -> float:
+        """The accuracy bound the coordinator honestly reports *now*.
+
+        With no suspect inputs this is the query's QAB.  For each suspect
+        item the bound is conservatively widened by the query's response to
+        an assumed drift that grows with the item's staleness — the served
+        answer carries its real uncertainty instead of a silently-broken
+        QAB (the degradation Condition 1 cannot cover once deliveries are
+        lost)."""
+        extra = 0.0
+        config = self.faults.config
+        base = self.query_value(query)
+        for name in self.suspect_items_of(query):
+            staleness = max(0.0, time - self.suspect_since[name])
+            drift = (config.suspect_drift_rel * max(abs(self.cache[name]), 1e-12)
+                     * (1.0 + staleness / config.lease_duration))
+            perturbed = dict(self.cache)
+            perturbed[name] = self.cache[name] + drift
+            up = abs(query.evaluate(perturbed) - base)
+            perturbed[name] = self.cache[name] - drift
+            down = abs(query.evaluate(perturbed) - base)
+            extra += max(up, down)
+        return query.qab + extra
 
     # -- event handlers -----------------------------------------------------------------
 
     def on_refresh(self, event: Event) -> None:
         if event.time < self.busy_until - 1e-12:
-            # The coordinator is still working through earlier arrivals;
-            # the refresh waits in its input queue.
+            # The coordinator is still working through earlier arrivals; the
+            # refresh waits in its input queue.  Priority -1 keeps this
+            # already-arrived refresh ahead of any later event that lands on
+            # exactly ``busy_until`` (FIFO service, no tie starvation).
             self.queue.push(Event(self.busy_until, EventKind.REFRESH_ARRIVAL,
-                                  event.payload))
+                                  event.payload), priority=-1)
             return
         self.busy_until = event.time + self.check_delay.sample()
         item = event.payload["item"]
+        seq = event.payload.get("seq")
+        if seq is not None and self.faults.enabled:
+            # Sequence numbers order refresh deliveries: a duplicate or a
+            # refresh that was overtaken by a newer one must not clobber
+            # the cache with a stale value.  (Gated to fault mode so the
+            # fault-free path is bit-identical to the original simulator.)
+            if seq <= self.last_seq.get(item, 0):
+                self.metrics.record_refresh()
+                self.metrics.record_duplicate_reject()
+                return
+            self.last_seq[item] = int(seq)
         self.cache[item] = float(event.payload["value"])
         self.metrics.record_refresh()
+        self._hear_from_item(item, event.time)
         if self.rate_tracker is not None:
             self.rate_tracker.observe(item, self.cache[item], event.time)
 
@@ -214,9 +356,14 @@ class Coordinator:
         One AAO solve is counted as a single recomputation (it is one
         coordinated DAB change, whose larger fanout is folded into μ, as in
         the paper's accounting for Figure 7)."""
-        multi = self.aao_planner.plan_all(self.queries, self.cache)
-        self.plans = dict(multi.per_query)
-        self.metrics.record_recomputation("__aao__")
+        try:
+            multi = self.aao_planner.plan_all(self.queries, self.cache)
+        except GPError:
+            # Keep serving on the previous joint plan; try again next period.
+            self.metrics.record_solver_fallback()
+        else:
+            self.plans = dict(multi.per_query)
+            self.metrics.record_recomputation("__aao__")
         # A joint solve occupies the coordinator roughly per-query as long
         # as a single-query solve (the paper: 600-750 ms for 10 PPQs).
         self.busy_until = max(self.busy_until, event.time)
@@ -232,3 +379,95 @@ class Coordinator:
                 f"DAB change addressed to unknown source {event.payload['source_id']!r}"
             )
         source.on_dab_change(event)
+
+    # -- fault-mode handlers -------------------------------------------------------------
+
+    def on_dab_ack(self, event: Event) -> None:
+        """A source acknowledged a DAB-change message: stop retrying it."""
+        self._outstanding.pop(event.payload["msg_id"], None)
+
+    def on_retry_check(self, event: Event) -> None:
+        """Retransmit a still-unacknowledged DAB-change with backoff."""
+        msg_id = event.payload["msg_id"]
+        pending = self._outstanding.get(msg_id)
+        if pending is None:
+            return
+        config = self.faults.config
+        pending["attempt"] += 1
+        if pending["attempt"] > config.retry_max:
+            # Give up; the epoch/lease machinery bounds the damage and the
+            # next genuine DAB change supersedes these bounds anyway.
+            self.metrics.record_dab_retry_exhausted()
+            del self._outstanding[msg_id]
+            return
+        self.metrics.record_dab_retry()
+        backoff = min(config.retry_cap,
+                      config.retry_timeout * config.retry_backoff ** pending["attempt"])
+        payload = {"source_id": pending["source_id"], "bounds": dict(pending["bounds"]),
+                   "epochs": dict(pending["epochs"]), "msg_id": msg_id}
+        link = f"coord->src{pending['source_id']}"
+        if self.faults.drop(link, event.time):
+            self.metrics.record_message_dropped()
+        else:
+            delay = self.network_delay.sample() * self.faults.delay_factor(event.time)
+            self.queue.push(Event(event.time + delay, EventKind.DAB_CHANGE_ARRIVAL,
+                                  payload))
+        self.queue.push(Event(event.time + backoff, EventKind.RETRY_CHECK,
+                              {"msg_id": msg_id}))
+
+    def on_heartbeat(self, event: Event) -> None:
+        """A source's liveness beacon.
+
+        A quiet item whose sequence number matches is fresh (the push
+        filter guarantees an in-bound value), so its lease renews.  A
+        sequence number *ahead* of what we received means refreshes were
+        lost in flight — the cache may be arbitrarily stale even though
+        the source is alive — so the item goes suspect and its value is
+        re-requested immediately."""
+        seqs = event.payload.get("seqs") or {}
+        for name in self._source_items.get(event.payload["source_id"], ()):
+            if name not in self.last_heard:
+                continue
+            expected = seqs.get(name)
+            if expected is not None and expected > self.last_seq.get(name, 0):
+                if name not in self.suspect_since:
+                    self.suspect_since[name] = event.time
+                    self._exposure_accounted[name] = event.time
+                    self.metrics.record_refresh_gap()
+                    self._probe(name, event.time)
+            else:
+                self._hear_from_item(name, event.time)
+
+    def on_lease_check(self, event: Event) -> None:
+        """Expire leases, mark items suspect, and re-request their values."""
+        config = self.faults.config
+        time = event.time
+        for name in self.item_index:
+            if name in self.suspect_since:
+                # Accumulate exposure since the last accounting and keep
+                # probing until the source answers.
+                accounted = self._exposure_accounted.get(name, self.suspect_since[name])
+                self.metrics.record_staleness_exposure(max(0.0, time - accounted))
+                self._exposure_accounted[name] = time
+                self._probe(name, time)
+            elif time - self.last_heard.get(name, 0.0) > config.lease_duration:
+                self.suspect_since[name] = time
+                self._exposure_accounted[name] = time
+                self.metrics.record_lease_expiry()
+                self._probe(name, time)
+        self.queue.push(Event(time + config.lease_check_interval,
+                              EventKind.LEASE_CHECK))
+
+    def _probe(self, name: str, time: float) -> None:
+        """Re-request a suspect item's value from its owning source."""
+        source_id = self.item_to_source.get(name)
+        if source_id is None:
+            return
+        self.metrics.record_value_probe()
+        link = f"coord->src{source_id}"
+        if self.faults.drop(link, time):
+            self.metrics.record_message_dropped()
+            return
+        delay = self.network_delay.sample() * self.faults.delay_factor(time)
+        self.queue.push(Event(time + delay, EventKind.VALUE_PROBE_ARRIVAL,
+                              {"item": name, "source_id": source_id}))

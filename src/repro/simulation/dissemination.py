@@ -37,6 +37,7 @@ from repro.queries.polynomial import PolynomialQuery
 from repro.simulation.coordinator import Coordinator, RecomputeMode
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.events import Event, EventKind
+from repro.simulation.faults import DISABLED, FaultConfig, FaultModel
 from repro.simulation.harness import (
     AlgorithmName,
     SimulationConfig,
@@ -72,6 +73,11 @@ class DisseminationConfig:
     node_delay_mean: float = 0.110
     rate_estimator: Optional[RateEstimator] = None
     cache_grid: Optional[float] = 0.02
+    #: Fault injection on the source↔root links (loss, crashes, partitions,
+    #: delay spikes, duplicates).  Root↔child forwarding shares the loss
+    #: model; the ack/retry and lease machinery stay single-coordinator
+    #: features for now.
+    fault_config: Optional[FaultConfig] = None
 
     def __post_init__(self) -> None:
         self.algorithm = AlgorithmName.from_string(self.algorithm)
@@ -109,12 +115,16 @@ class RootRelay:
 
     def __init__(self, queue, metrics: MetricsCollector, network_delay: DelayModel,
                  initial_values: Mapping[str, float],
-                 item_to_source: Mapping[str, int]):
+                 item_to_source: Mapping[str, int],
+                 fault_model: Optional[FaultModel] = None):
         self.queue = queue
         self.metrics = metrics
         self.network_delay = network_delay
+        self.faults = fault_model if fault_model is not None else DISABLED
         self.cache: Dict[str, float] = dict(initial_values)
         self.item_to_source = dict(item_to_source)
+        #: Per-item monotone epoch for root→source DAB changes.
+        self.epochs: Dict[str, int] = {}
         #: child_id -> {item: b} as last announced by that child.
         self.child_bounds: Dict[int, Dict[str, float]] = {}
         #: child_id -> {item: value} last forwarded to that child.
@@ -155,8 +165,9 @@ class RootRelay:
     def _reprogram_sources(self, send: bool, time: float) -> None:
         merged = self._global_min_bounds()
         if not send:
-            for source in self._sources.values():
-                source.set_bounds(merged)
+            for source_id, source in self._sources.items():
+                source.set_bounds({name: bound for name, bound in merged.items()
+                                   if self.item_to_source.get(name) == source_id})
             self._last_sent = dict(merged)
             return
         changed_by_source: Dict[int, Dict[str, float]] = {}
@@ -166,15 +177,26 @@ class RootRelay:
             if previous is not None and abs(bound - previous) <= 1e-9 * previous:
                 continue
             last[name] = bound
+            self.epochs[name] = self.epochs.get(name, 0) + 1
             changed_by_source.setdefault(self.item_to_source[name], {})[name] = bound
         self._last_sent = last
         for source_id, bounds in changed_by_source.items():
             self.metrics.record_dab_change_messages(1)
-            self.queue.push(Event(
-                time=time + self.network_delay.sample(),
-                kind=EventKind.DAB_CHANGE_ARRIVAL,
-                payload={"source_id": source_id, "bounds": bounds},
-            ))
+            payload = {"source_id": source_id, "bounds": bounds,
+                       "epochs": {name: self.epochs[name] for name in bounds}}
+            link = f"root->src{source_id}"
+            if self.faults.drop(link, time):
+                self.metrics.record_message_dropped()
+                continue
+            delay = self.network_delay.sample() * self.faults.delay_factor(time)
+            self.queue.push(Event(time=time + delay,
+                                  kind=EventKind.DAB_CHANGE_ARRIVAL,
+                                  payload=payload))
+            if self.faults.duplicate(link, time):
+                self.metrics.record_message_duplicated()
+                self.queue.push(Event(time=time + self.network_delay.sample(),
+                                      kind=EventKind.DAB_CHANGE_ARRIVAL,
+                                      payload=dict(payload)))
 
     # -- data plane ---------------------------------------------------------------------
 
@@ -191,8 +213,12 @@ class RootRelay:
             last = seen.get(item, value)
             if item not in seen or abs(value - last) > bound:
                 seen[item] = value
+                if self.faults.drop(f"root->child{child_id}", event.time):
+                    self.metrics.record_message_dropped()
+                    continue
+                delay = self.network_delay.sample() * self.faults.delay_factor(event.time)
                 self.queue.push(Event(
-                    time=event.time + self.network_delay.sample(),
+                    time=event.time + delay,
                     kind=EventKind.REFRESH_ARRIVAL,
                     payload={"item": item, "value": value,
                              "source_id": event.payload["source_id"],
@@ -223,15 +249,19 @@ def run_dissemination(config: DisseminationConfig) -> DisseminationResult:
         network = ParetoDelayModel(config.node_delay_mean,
                                    rng=np.random.default_rng(config.seed))
 
+    fault_model = FaultModel(config.fault_config)
+
     item_to_source = assign_items_to_sources(items, config.source_count)
     sources: Dict[int, SourceNode] = {}
     for source_id in sorted(set(item_to_source.values())):
         owned = [name for name in items if item_to_source[name] == source_id]
         sources[source_id] = SourceNode(source_id, owned, config.traces,
-                                        engine.queue, metrics, network)
+                                        engine.queue, metrics, network,
+                                        fault_model=fault_model)
 
     initial_values = config.traces.initial_values(items)
-    root = RootRelay(engine.queue, metrics, network, initial_values, item_to_source)
+    root = RootRelay(engine.queue, metrics, network, initial_values, item_to_source,
+                     fault_model=fault_model)
     root.attach_sources(list(sources.values()))
 
     # Partition queries round-robin over child coordinators.
@@ -291,6 +321,9 @@ def run_dissemination(config: DisseminationConfig) -> DisseminationResult:
 
     engine.on(EventKind.REFRESH_ARRIVAL, route_refresh)
     engine.on(EventKind.DAB_CHANGE_ARRIVAL, route_dab_change)
+    # Sources heartbeat when faults are on; the root has no lease table,
+    # so the beacons are absorbed here (counted at the sending source).
+    engine.on(EventKind.HEARTBEAT_ARRIVAL, lambda _event: None)
     for source in sources.values():
         engine.on_tick(source.on_tick)
     engine.on_tick(lambda _tick: metrics.record_tick())

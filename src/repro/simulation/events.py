@@ -25,6 +25,16 @@ class EventKind(enum.Enum):
     DAB_CHANGE_ARRIVAL = "dab_change_arrival"
     #: Periodic full AAO recomputation (the AAO-T schedule of Figure 7).
     AAO_PERIODIC = "aao_periodic"
+    #: A source's liveness beacon reaching the coordinator (fault mode).
+    HEARTBEAT_ARRIVAL = "heartbeat_arrival"
+    #: A source's acknowledgement of a DAB-change message (fault mode).
+    DAB_ACK_ARRIVAL = "dab_ack_arrival"
+    #: Coordinator-local timer: is a DAB-change still unacknowledged?
+    RETRY_CHECK = "retry_check"
+    #: Coordinator-local timer: scan items for expired staleness leases.
+    LEASE_CHECK = "lease_check"
+    #: A coordinator value re-request reaching a (suspect) source.
+    VALUE_PROBE_ARRIVAL = "value_probe_arrival"
 
 
 @dataclass(frozen=True)
@@ -43,21 +53,28 @@ class Event:
 
 
 class EventQueue:
-    """A deterministic min-heap of events ordered by (time, insertion)."""
+    """A deterministic min-heap of events ordered by (time, priority,
+    insertion).
+
+    ``priority`` defaults to 0; lower values win time ties.  The
+    coordinator requeues refreshes it was too busy to serve with priority
+    ``-1`` so an earlier-arrived refresh is never starved behind
+    later-inserted events that happen to tie at exactly ``busy_until``.
+    """
 
     def __init__(self) -> None:
         self._heap: list = []
         self._counter = itertools.count()
 
-    def push(self, event: Event) -> None:
+    def push(self, event: Event, priority: int = 0) -> None:
         if event.time < 0.0:
             raise ValueError(f"event time must be >= 0, got {event.time!r}")
-        heapq.heappush(self._heap, (event.time, next(self._counter), event))
+        heapq.heappush(self._heap, (event.time, priority, next(self._counter), event))
 
     def pop(self) -> Event:
         if not self._heap:
             raise IndexError("pop from an empty event queue")
-        _time, _seq, event = heapq.heappop(self._heap)
+        _time, _priority, _seq, event = heapq.heappop(self._heap)
         return event
 
     def peek_time(self) -> Optional[float]:

@@ -35,6 +35,7 @@ from repro.queries.polynomial import PolynomialQuery
 from repro.simulation.coordinator import Coordinator, RecomputeMode
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.events import EventKind
+from repro.simulation.faults import FaultConfig, FaultModel
 from repro.simulation.metrics import MetricsCollector, SimulationMetrics
 from repro.simulation.network import (
     DelayModel,
@@ -112,6 +113,11 @@ class SimulationConfig:
     #: When true, the planning objective weights each item's λ by its
     #: co-movement with term partners (see repro.dynamics.correlation).
     correlation_aware: bool = False
+    #: Fault injection (message loss, source crashes, partitions, delay
+    #: spikes, duplicates) plus the recovery-protocol knobs.  ``None`` or a
+    #: default ``FaultConfig()`` leaves the fault machinery provably off —
+    #: the run is bit-identical to the fault-free simulator.
+    fault_config: Optional[FaultConfig] = None
 
     def __post_init__(self) -> None:
         self.algorithm = AlgorithmName.from_string(self.algorithm)
@@ -244,12 +250,15 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
         check_delay = ParetoDelayModel(config.check_delay_mean, rng=streams[1])
         recompute_delay = ParetoDelayModel(config.recompute_delay_mean, rng=streams[2])
 
+    fault_model = FaultModel(config.fault_config)
+
     item_to_source = assign_items_to_sources(items, config.source_count)
     sources: Dict[int, SourceNode] = {}
     for source_id in sorted(set(item_to_source.values())):
         owned = [name for name in items if item_to_source[name] == source_id]
         sources[source_id] = SourceNode(
-            source_id, owned, config.traces, engine.queue, metrics, network
+            source_id, owned, config.traces, engine.queue, metrics, network,
+            fault_model=fault_model,
         )
 
     aao_planner = None
@@ -271,6 +280,7 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
         check_delay=check_delay,
         recompute_delay=recompute_delay,
         rate_tracker=rate_tracker,
+        fault_model=fault_model,
     )
     coordinator.attach_sources(sources.values())
     coordinator.initial_plan()
@@ -278,6 +288,12 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
     engine.on(EventKind.REFRESH_ARRIVAL, coordinator.on_refresh)
     engine.on(EventKind.DAB_CHANGE_ARRIVAL, coordinator.on_dab_change)
     engine.on(EventKind.AAO_PERIODIC, coordinator.on_aao_periodic)
+    engine.on(EventKind.HEARTBEAT_ARRIVAL, coordinator.on_heartbeat)
+    engine.on(EventKind.DAB_ACK_ARRIVAL, coordinator.on_dab_ack)
+    engine.on(EventKind.RETRY_CHECK, coordinator.on_retry_check)
+    engine.on(EventKind.LEASE_CHECK, coordinator.on_lease_check)
+    engine.on(EventKind.VALUE_PROBE_ARRIVAL,
+              lambda event: sources[event.payload["source_id"]].on_value_probe(event))
     for source in sources.values():
         engine.on_tick(source.on_tick)
     engine.on_tick(lambda _tick: metrics.record_tick())
@@ -285,12 +301,22 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
     traces = config.traces
     queries = list(config.queries)
 
+    faults_on = fault_model.enabled
+
     def sample_fidelity(tick: int) -> None:
         truth_values = traces.values_at(tick, items)
         for query in queries:
             truth = query.evaluate(truth_values)
             observed = query.evaluate(coordinator.cache)
             metrics.record_fidelity(query.name, abs(truth - observed) <= query.qab)
+            if faults_on and coordinator.suspect_items_of(query):
+                # Served degraded: the answer carries a widened, honest
+                # uncertainty; count it, and flag the (rare) case where
+                # even the widened bound failed to cover the truth.
+                metrics.record_degraded_sample()
+                reported = coordinator.reported_bound(query, float(tick))
+                if abs(truth - observed) > reported:
+                    metrics.record_uncertainty_violation()
 
     engine.on_fidelity_sample(sample_fidelity)
     engine.run()

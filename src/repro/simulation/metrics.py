@@ -57,11 +57,47 @@ class SimulationMetrics:
     user_notifications: int
     gp_solves: int
     duration_ticks: int
+    # -- fault-side counters (all zero on a fault-free run) ---------------------
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    duplicate_rejects: int = 0
+    misrouted_bounds: int = 0
+    dab_retries: int = 0
+    dab_retry_exhausted: int = 0
+    lease_expiries: int = 0
+    refresh_gaps: int = 0
+    value_probes: int = 0
+    heartbeats: int = 0
+    recovery_resyncs: int = 0
+    solver_fallbacks: int = 0
+    staleness_exposure_seconds: float = 0.0
+    degraded_samples: int = 0
+    uncertainty_violations: int = 0
 
     @property
     def total_cost(self) -> float:
         """``refreshes + μ · recomputations`` — the paper's cost metric."""
         return self.refreshes + self.recompute_cost * self.recomputations
+
+    def fault_counters(self) -> Dict[str, float]:
+        """The fault-side counters as one dict (for tables / CLI output)."""
+        return {
+            "messages_dropped": self.messages_dropped,
+            "messages_duplicated": self.messages_duplicated,
+            "duplicate_rejects": self.duplicate_rejects,
+            "misrouted_bounds": self.misrouted_bounds,
+            "dab_retries": self.dab_retries,
+            "dab_retry_exhausted": self.dab_retry_exhausted,
+            "lease_expiries": self.lease_expiries,
+            "refresh_gaps": self.refresh_gaps,
+            "value_probes": self.value_probes,
+            "heartbeats": self.heartbeats,
+            "recovery_resyncs": self.recovery_resyncs,
+            "solver_fallbacks": self.solver_fallbacks,
+            "staleness_exposure_seconds": self.staleness_exposure_seconds,
+            "degraded_samples": self.degraded_samples,
+            "uncertainty_violations": self.uncertainty_violations,
+        }
 
 
 class MetricsCollector:
@@ -76,6 +112,22 @@ class MetricsCollector:
         self._recomputations: Dict[str, int] = {}
         self._fidelity: Dict[str, QueryFidelity] = {}
         self._duration_ticks = 0
+        # fault-side counters
+        self.messages_dropped = 0
+        self.messages_duplicated = 0
+        self.duplicate_rejects = 0
+        self.misrouted_bounds = 0
+        self.dab_retries = 0
+        self.dab_retry_exhausted = 0
+        self.lease_expiries = 0
+        self.refresh_gaps = 0
+        self.value_probes = 0
+        self.heartbeats = 0
+        self.recovery_resyncs = 0
+        self.solver_fallbacks = 0
+        self.staleness_exposure_seconds = 0.0
+        self.degraded_samples = 0
+        self.uncertainty_violations = 0
 
     # -- recording ----------------------------------------------------------------
 
@@ -99,6 +151,53 @@ class MetricsCollector:
 
     def record_tick(self) -> None:
         self._duration_ticks += 1
+
+    # -- fault-side recording ------------------------------------------------------
+
+    def record_message_dropped(self, count: int = 1) -> None:
+        self.messages_dropped += count
+
+    def record_message_duplicated(self, count: int = 1) -> None:
+        self.messages_duplicated += count
+
+    def record_duplicate_reject(self, count: int = 1) -> None:
+        self.duplicate_rejects += count
+
+    def record_misrouted_bounds(self, count: int = 1) -> None:
+        self.misrouted_bounds += count
+
+    def record_dab_retry(self, count: int = 1) -> None:
+        self.dab_retries += count
+
+    def record_dab_retry_exhausted(self, count: int = 1) -> None:
+        self.dab_retry_exhausted += count
+
+    def record_lease_expiry(self, count: int = 1) -> None:
+        self.lease_expiries += count
+
+    def record_refresh_gap(self, count: int = 1) -> None:
+        self.refresh_gaps += count
+
+    def record_value_probe(self, count: int = 1) -> None:
+        self.value_probes += count
+
+    def record_heartbeat(self, count: int = 1) -> None:
+        self.heartbeats += count
+
+    def record_recovery_resync(self, count: int = 1) -> None:
+        self.recovery_resyncs += count
+
+    def record_solver_fallback(self, count: int = 1) -> None:
+        self.solver_fallbacks += count
+
+    def record_staleness_exposure(self, seconds: float) -> None:
+        self.staleness_exposure_seconds += seconds
+
+    def record_degraded_sample(self, count: int = 1) -> None:
+        self.degraded_samples += count
+
+    def record_uncertainty_violation(self, count: int = 1) -> None:
+        self.uncertainty_violations += count
 
     # -- summaries ----------------------------------------------------------------
 
@@ -129,4 +228,19 @@ class MetricsCollector:
             user_notifications=self.user_notifications,
             gp_solves=self.gp_solves,
             duration_ticks=self._duration_ticks,
+            messages_dropped=self.messages_dropped,
+            messages_duplicated=self.messages_duplicated,
+            duplicate_rejects=self.duplicate_rejects,
+            misrouted_bounds=self.misrouted_bounds,
+            dab_retries=self.dab_retries,
+            dab_retry_exhausted=self.dab_retry_exhausted,
+            lease_expiries=self.lease_expiries,
+            refresh_gaps=self.refresh_gaps,
+            value_probes=self.value_probes,
+            heartbeats=self.heartbeats,
+            recovery_resyncs=self.recovery_resyncs,
+            solver_fallbacks=self.solver_fallbacks,
+            staleness_exposure_seconds=self.staleness_exposure_seconds,
+            degraded_samples=self.degraded_samples,
+            uncertainty_violations=self.uncertainty_violations,
         )

@@ -5,16 +5,31 @@ samples its traces and pushes a refresh to the coordinator whenever a value
 has drifted more than the item's *primary* DAB from the last pushed value
 (the paper's push model: with value 5 and ``b = 1``, the next refresh fires
 when the source value leaves ``[4, 6]``).  New DABs arrive asynchronously
-as DAB-change messages and take effect on arrival.
+as DAB-change messages.
+
+Because DAB-change messages travel over the same heavy-tailed network as
+refreshes, two changes for one item can arrive out of order.  Every bound
+therefore carries a per-item monotone *epoch*; a source applies a bound
+only if its epoch is newer than the one it holds, so the source always
+ends on the newest filter regardless of arrival order (and duplicate or
+retransmitted messages are idempotent).
+
+Under an enabled :class:`~repro.simulation.faults.FaultModel` the source
+additionally honours crash windows (no pushes, no receipt while down,
+followed by a resync push of every owned item on recovery), emits low-rate
+heartbeats so the coordinator's staleness leases renew even for quiet
+items, answers value probes, and acks DAB-changes so the coordinator can
+retransmit lost ones.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.exceptions import SimulationError
 from repro.dynamics.traces import TraceSet
 from repro.simulation.events import Event, EventKind, EventQueue
+from repro.simulation.faults import DISABLED, FaultModel
 from repro.simulation.metrics import MetricsCollector
 from repro.simulation.network import DelayModel
 
@@ -38,6 +53,7 @@ class SourceNode:
         queue: EventQueue,
         metrics: MetricsCollector,
         network_delay: DelayModel,
+        fault_model: Optional[FaultModel] = None,
     ):
         self.source_id = source_id
         self.items: List[str] = list(items)
@@ -47,29 +63,115 @@ class SourceNode:
         self.queue = queue
         self.metrics = metrics
         self.network_delay = network_delay
+        self.faults = fault_model if fault_model is not None else DISABLED
         #: Last value pushed (and acknowledged as the filter centre).
         self.last_pushed: Dict[str, float] = {
             name: traces[name].at(0) for name in self.items
         }
         #: Current primary DABs; items without a bound push every change.
         self.bounds: Dict[str, float] = {}
+        #: Highest DAB epoch applied per item (reorder/duplicate guard).
+        self.epochs: Dict[str, int] = {}
+        #: Per-item refresh sequence numbers; heartbeats carry them so the
+        #: coordinator can detect lost refreshes as sequence gaps.
+        self.seq: Dict[str, int] = {name: 0 for name in self.items}
+        self._was_crashed = False
+        self._uplink = f"src{source_id}->coord"
+
+    # -- network -----------------------------------------------------------------
+
+    def _send(self, time: float, kind: EventKind, payload: Dict[str, Any]) -> None:
+        """Push one message towards the coordinator, subject to faults."""
+        faults = self.faults
+        if faults.drop(self._uplink, time):
+            self.metrics.record_message_dropped()
+            return
+        delay = self.network_delay.sample() * faults.delay_factor(time)
+        self.queue.push(Event(time=time + delay, kind=kind, payload=payload))
+        if faults.duplicate(self._uplink, time):
+            self.metrics.record_message_duplicated()
+            self.queue.push(Event(time=time + self.network_delay.sample(),
+                                  kind=kind, payload=dict(payload)))
 
     # -- control-plane ---------------------------------------------------------
 
-    def set_bounds(self, bounds: Mapping[str, float]) -> None:
-        """Apply new primary DABs immediately (bootstrap path)."""
+    def set_bounds(self, bounds: Mapping[str, float],
+                   epochs: Optional[Mapping[str, int]] = None) -> None:
+        """Apply new primary DABs; reject unknown items and stale epochs.
+
+        Without ``epochs`` (the bootstrap path) bounds apply
+        unconditionally.  With ``epochs`` an item's bound is applied only
+        when its epoch is strictly newer than the last applied one —
+        stale-reorder and duplicate deliveries become counted no-ops.
+        """
         for name, value in bounds.items():
-            if name in self.last_pushed:
-                self.bounds[name] = float(value)
+            if name not in self.last_pushed:
+                # A misrouted payload: surface it instead of silently
+                # ignoring it — the coordinator's routing is wrong.
+                self.metrics.record_misrouted_bounds()
+                continue
+            if epochs is not None:
+                epoch = epochs.get(name)
+                if epoch is not None and epoch <= self.epochs.get(name, -1):
+                    self.metrics.record_duplicate_reject()
+                    continue
+                if epoch is not None:
+                    self.epochs[name] = int(epoch)
+            self.bounds[name] = float(value)
 
     def on_dab_change(self, event: Event) -> None:
         """A DAB-change message arrived from the coordinator."""
-        self.set_bounds(event.payload["bounds"])
+        if self.faults.is_crashed(self.source_id, event.time):
+            # Delivered to a dead node: lost.  The coordinator's ack/retry
+            # machinery redelivers after recovery.
+            self.metrics.record_message_dropped()
+            return
+        self.set_bounds(event.payload["bounds"], event.payload.get("epochs"))
+        msg_id = event.payload.get("msg_id")
+        if msg_id is not None and self.faults.enabled:
+            # Ack even a stale/duplicate message — delivery is what the
+            # coordinator retries on; application is idempotent anyway.
+            self._send(event.time, EventKind.DAB_ACK_ARRIVAL,
+                       {"source_id": self.source_id, "msg_id": msg_id})
+
+    def on_value_probe(self, event: Event) -> None:
+        """The coordinator re-requested an item's value (lease expiry)."""
+        if self.faults.is_crashed(self.source_id, event.time):
+            self.metrics.record_message_dropped()
+            return
+        name = event.payload["item"]
+        if name not in self.last_pushed:
+            self.metrics.record_misrouted_bounds()
+            return
+        tick = min(int(event.time), self.traces.duration)
+        value = self.traces[name].at(tick)
+        self.last_pushed[name] = value
+        self.seq[name] += 1
+        self._send(event.time, EventKind.REFRESH_ARRIVAL,
+                   {"item": name, "value": value, "source_id": self.source_id,
+                    "seq": self.seq[name], "probe_reply": True})
 
     # -- data-plane --------------------------------------------------------------
 
     def on_tick(self, tick: int) -> None:
         """Sample traces; push refreshes for items outside their filter."""
+        faults = self.faults
+        if faults.enabled:
+            if faults.is_crashed(self.source_id, float(tick)):
+                self._was_crashed = True
+                return
+            if self._was_crashed:
+                self._was_crashed = False
+                self._resync(tick)
+                return
+            if (faults.config.heartbeat_interval > 0 and tick > 0
+                    and tick % int(max(1, round(faults.config.heartbeat_interval))) == 0):
+                self.metrics.record_heartbeat()
+                # The beacon carries per-item refresh sequence numbers so
+                # the coordinator can tell "quiet because in-bound" apart
+                # from "quiet because my refreshes were lost".
+                self._send(float(tick), EventKind.HEARTBEAT_ARRIVAL,
+                           {"source_id": self.source_id, "seqs": dict(self.seq)})
         for name in self.items:
             value = self.traces[name].at(tick)
             bound = self.bounds.get(name)
@@ -79,11 +181,22 @@ class SourceNode:
                 continue
             if abs(value - self.last_pushed[name]) > bound:
                 self.last_pushed[name] = value
-                self.queue.push(Event(
-                    time=tick + self.network_delay.sample(),
-                    kind=EventKind.REFRESH_ARRIVAL,
-                    payload={"item": name, "value": value, "source_id": self.source_id},
-                ))
+                self.seq[name] += 1
+                self._send(float(tick), EventKind.REFRESH_ARRIVAL,
+                           {"item": name, "value": value,
+                            "source_id": self.source_id, "seq": self.seq[name]})
+
+    def _resync(self, tick: int) -> None:
+        """First tick back after a crash: push every owned item's current
+        value so the coordinator's cache stops serving crash-stale data."""
+        self.metrics.record_recovery_resync()
+        for name in self.items:
+            value = self.traces[name].at(tick)
+            self.last_pushed[name] = value
+            self.seq[name] += 1
+            self._send(float(tick), EventKind.REFRESH_ARRIVAL,
+                       {"item": name, "value": value, "source_id": self.source_id,
+                        "seq": self.seq[name], "resync": True})
 
     def __repr__(self) -> str:
         return f"SourceNode(id={self.source_id}, items={len(self.items)})"
