@@ -1,0 +1,112 @@
+"""Hot-path throughput: vectorized event loop vs the scalar reference.
+
+Runs the same fig-6-scale workload (the paper sweeps query count at fixed
+item/trace scale, §7.2) twice — ``vectorize=True`` (the default) and the
+``--no-vectorize`` scalar reference — and reports event-loop throughput
+(``duration_ticks / loop_seconds``; the setup-time GP solves of
+``initial_plan`` are identical in both paths and excluded).  The two runs
+must produce identical ``SimulationMetrics``: the vectorized path is a
+bitwise-equal reimplementation, not an approximation (DESIGN.md §8).
+
+Results land in ``benchmarks/results/BENCH_hotpath.json``.  The committed
+copy is the regression baseline: CI re-runs the reduced ``smoke`` entry
+(``REPRO_BENCH_HOTPATH=smoke``) and fails when the measured speedup drops
+below half the committed one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.simulation import SimulationConfig, run_simulation
+from repro.workloads import scaled_scenario
+
+RESULT_NAME = "BENCH_hotpath.json"
+
+#: Repetitions per (point, path); the minimum loop time is reported so a
+#: background scheduling hiccup cannot masquerade as a regression.
+REPEATS = 3
+
+POINTS = {
+    "smoke": dict(query_count=40, item_count=40, trace_length=201),
+    "fig6": dict(query_count=300, item_count=40, trace_length=401),
+}
+
+#: ``REPRO_BENCH_HOTPATH=smoke`` (the CI job) measures only the reduced
+#: point and leaves the committed ``fig6`` entry untouched.
+MODE = os.environ.get("REPRO_BENCH_HOTPATH", "full")
+NAMES = ("smoke",) if MODE == "smoke" else ("smoke", "fig6")
+
+
+def _measure(params):
+    scenario = scaled_scenario(source_count=8, seed=13, **params)
+    base = SimulationConfig(queries=scenario.queries, traces=scenario.traces,
+                            recompute_cost=2.0, source_count=8, seed=13,
+                            fidelity_interval=1)
+    loops = {}
+    results = {}
+    for vectorize in (True, False):
+        config = replace(base, vectorize=vectorize)
+        runs = [run_simulation(config) for _ in range(REPEATS)]
+        loops[vectorize] = min(run.loop_seconds for run in runs)
+        results[vectorize] = runs[0]
+    ticks = results[True].metrics.duration_ticks
+    vector = results[True]
+    return {
+        "params": dict(params),
+        "ticks": ticks,
+        "loop_seconds_vectorized": loops[True],
+        "loop_seconds_scalar": loops[False],
+        "ticks_per_sec_vectorized": ticks / loops[True],
+        "ticks_per_sec_scalar": ticks / loops[False],
+        "speedup": loops[False] / loops[True],
+        "gp_solves": vector.metrics.gp_solves,
+        "solves_per_sec": vector.metrics.gp_solves / vector.wall_seconds,
+        "metrics_identical": results[True].metrics == results[False].metrics,
+    }
+
+
+@pytest.fixture(scope="module")
+def hotpath(results_dir):
+    """Measured entries plus the committed baseline (read before writing)."""
+    path = results_dir / RESULT_NAME
+    baseline = json.loads(path.read_text()) if path.exists() else {}
+    entries = {name: _measure(POINTS[name]) for name in NAMES}
+    merged = dict(baseline)
+    merged.update(entries)
+    path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    return {"entries": entries, "baseline": baseline}
+
+
+def test_hotpath_metrics_identical(benchmark, hotpath):
+    """The vectorized loop replays the scalar run bit for bit."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for name, entry in hotpath["entries"].items():
+        assert entry["metrics_identical"], name
+
+
+def test_hotpath_speedup_floor(benchmark, hotpath):
+    """Conservative floors — the committed JSON records the real numbers
+    (≥5x on the fig6 point on the reference machine)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert hotpath["entries"]["smoke"]["speedup"] >= 1.5
+    if "fig6" in hotpath["entries"]:
+        assert hotpath["entries"]["fig6"]["speedup"] >= 3.0
+
+
+def test_hotpath_no_regression_vs_committed(benchmark, hotpath):
+    """CI gate: the measured smoke speedup must stay within 2x of the
+    committed baseline."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    committed = hotpath["baseline"].get("smoke")
+    if not committed:
+        pytest.skip("no committed baseline yet")
+    measured = hotpath["entries"]["smoke"]["speedup"]
+    assert measured >= committed["speedup"] / 2.0, (
+        f"smoke speedup regressed: measured {measured:.2f}x vs committed "
+        f"{committed['speedup']:.2f}x"
+    )

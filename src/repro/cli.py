@@ -103,7 +103,12 @@ def _build_fault_config(args: argparse.Namespace):
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.experiments import fault_counter_rows, format_table
+    from repro.experiments import (
+        derive_seed,
+        fault_counter_rows,
+        format_table,
+        run_seed_sweep,
+    )
     from repro.simulation import SimulationConfig, run_simulation
     from repro.workloads import scaled_scenario
 
@@ -119,7 +124,26 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         duration=args.duration, source_count=args.sources, seed=args.seed,
         fidelity_interval=args.fidelity_interval, zero_delay=args.zero_delay,
         aao_period=args.aao_period, fault_config=fault_config,
+        vectorize=not args.no_vectorize,
     )
+    if args.runs > 1:
+        results = run_seed_sweep(config, args.runs, jobs=args.jobs)
+        rows = []
+        for index, result in enumerate(results):
+            m = result.metrics
+            rows.append({
+                "run": index, "seed": derive_seed(config.seed, index),
+                "refreshes": m.refreshes,
+                "recomputations": m.recomputations,
+                "total_cost": round(m.total_cost, 1),
+                "fidelity_loss_%": round(m.fidelity_loss_percent, 3),
+                "gp_solves": m.gp_solves,
+            })
+        print(f"algorithm={args.algorithm} queries={args.queries} "
+              f"items={args.items} duration={args.duration}s mu={args.mu:g} "
+              f"base_seed={args.seed} runs={args.runs} jobs={args.jobs or 1}")
+        print(format_table(rows, "Seed sweep"))
+        return 0
     result = run_simulation(config)
     m = result.metrics
     print(f"algorithm={args.algorithm} queries={args.queries} items={args.items} "
@@ -161,30 +185,31 @@ def cmd_figures(args: argparse.Namespace) -> int:
     mus = tuple(float(m) for m in args.mus.split(","))
     common = dict(item_count=args.items, trace_length=args.trace_length,
                   seed=args.seed)
+    sweep = dict(common, jobs=args.jobs)
 
     if args.figure == "fig5":
-        series = run_figure5(query_counts=counts, mus=mus, **common)
+        series = run_figure5(query_counts=counts, mus=mus, **sweep)
         for metric in ("recomputations", "refreshes", "fidelity_loss_percent",
                        "total_cost"):
             print(format_table(series_to_rows(series, metric, "queries"),
                                f"Figure 5 — {metric}"))
             print()
     elif args.figure == "fig6":
-        series = run_figure6(query_counts=counts, mus=mus[:2], **common)
+        series = run_figure6(query_counts=counts, mus=mus[:2], **sweep)
         for metric in ("recomputations", "refreshes", "total_cost"):
             print(format_table(series_to_rows(series, metric, "queries"),
                                f"Figure 6 — {metric}"))
             print()
     elif args.figure == "fig7":
         series = run_figure7(mus=mus, query_count=counts[0] if counts else 8,
-                             **common)
+                             **sweep)
         for metric in ("refreshes", "recomputations", "total_cost"):
             print(format_table(series_to_rows(series, metric, "mu"),
                                f"Figure 7 — {metric}"))
             print()
     elif args.figure in ("fig8a", "fig8b"):
         series = run_figure8ab(query_counts=counts, mus=mus[:2],
-                               dependent=(args.figure == "fig8b"), **common)
+                               dependent=(args.figure == "fig8b"), **sweep)
         print(format_table(series_to_rows(series, "recomputations", "queries"),
                            f"Figure 8({args.figure[-1]}) — recomputations"))
     elif args.figure == "fig8c":
@@ -236,6 +261,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="Polynomial continuous queries over dynamic data "
                     "(Shah & Ramamritham, ICDE 2008 — reproduction)",
     )
+    parser.add_argument("--profile", nargs="?", const="profile.pstats",
+                        default=None, metavar="FILE",
+                        help="profile the command under cProfile, dump "
+                             "stats to FILE (default profile.pstats) and "
+                             "print the top 20 functions by cumulative "
+                             "time")
     sub = parser.add_subparsers(dest="command", required=True)
 
     plan = sub.add_parser("plan", help="compute DABs for one query")
@@ -273,6 +304,16 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--fidelity-interval", type=int, default=2)
     simulate.add_argument("--zero-delay", action="store_true")
     simulate.add_argument("--aao-period", type=int, default=None)
+    simulate.add_argument("--no-vectorize", action="store_true",
+                          help="use the scalar reference implementation of "
+                               "the hot paths (bit-identical metrics; "
+                               "slower)")
+    simulate.add_argument("--runs", type=int, default=1,
+                          help="replicate the run at N derived seeds "
+                               "(deterministic per-index derivation)")
+    simulate.add_argument("--jobs", type=int, default=None,
+                          help="worker processes for --runs > 1 "
+                               "(default: serial; results are identical)")
     faults = simulate.add_argument_group(
         "fault injection",
         "inject failures and exercise the recovery protocol "
@@ -309,6 +350,9 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--items", type=int, default=30)
     figures.add_argument("--trace-length", type=int, default=201)
     figures.add_argument("--seed", type=int, default=0)
+    figures.add_argument("--jobs", type=int, default=None,
+                         help="worker processes for the sweep (default: "
+                              "serial; results are identical)")
     figures.set_defaults(func=cmd_figures)
 
     traces = sub.add_parser("traces", help="print synthetic traces as CSV")
@@ -322,10 +366,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_profiled(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return args.func(args)
+    finally:
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        print(f"\nprofile written to {args.profile}", file=sys.stderr)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(20)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if args.profile is not None:
+            return _run_profiled(args)
         return args.func(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

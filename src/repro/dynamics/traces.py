@@ -122,6 +122,18 @@ class TraceSet:
         names = items if items is not None else self.items
         return {name: self[name].at(tick) for name in names}
 
+    def values_matrix(self, items: Optional[Sequence[str]] = None) -> np.ndarray:
+        """``(items × ticks)`` slab stacking the requested traces.
+
+        Row ``i`` is a bitwise copy of ``self[items[i]].values`` — the batch
+        API the vectorized source tick loop scans instead of calling
+        :meth:`Trace.at` item by item.
+        """
+        names = items if items is not None else self.items
+        if not names:
+            raise TraceError("values_matrix needs at least one item")
+        return np.stack([self[name].values for name in names])
+
     def initial_values(self, items: Optional[Sequence[str]] = None) -> Dict[str, float]:
         return self.values_at(0, items)
 

@@ -12,6 +12,11 @@ from repro.experiments.figures import (
     run_signomial_comparison,
     run_solver_timing,
 )
+from repro.experiments.sweeps import (
+    derive_seed,
+    run_configs,
+    run_seed_sweep,
+)
 from repro.experiments.reporting import (
     fault_counter_rows,
     fault_sweep_rows,
@@ -31,6 +36,9 @@ __all__ = [
     "run_sharfman_comparison",
     "run_signomial_comparison",
     "run_solver_timing",
+    "derive_seed",
+    "run_configs",
+    "run_seed_sweep",
     "fault_counter_rows",
     "fault_sweep_rows",
     "format_table",

@@ -52,10 +52,10 @@ class ExperimentSeries:
         return [(p.x, getattr(p, name)) for p in self.points]
 
 
-def _run_point(scenario: PaperScenario, queries: Sequence[PolynomialQuery],
-               algorithm: AlgorithmName, mu: float, duration: int,
-               seed: int, **overrides) -> ExperimentPoint:
-    config = SimulationConfig(
+def _point_config(scenario: PaperScenario, queries: Sequence[PolynomialQuery],
+                  algorithm: AlgorithmName, mu: float, duration: int,
+                  seed: int, **overrides) -> SimulationConfig:
+    return SimulationConfig(
         queries=queries,
         traces=scenario.traces,
         algorithm=algorithm,
@@ -66,16 +66,41 @@ def _run_point(scenario: PaperScenario, queries: Sequence[PolynomialQuery],
         fidelity_interval=overrides.pop("fidelity_interval", 5),
         **overrides,
     )
-    result = run_simulation(config)
+
+
+def _point_from_result(x: float, result) -> ExperimentPoint:
     m = result.metrics
     return ExperimentPoint(
-        x=len(queries),
+        x=x,
         refreshes=m.refreshes,
         recomputations=m.recomputations,
         fidelity_loss_percent=m.fidelity_loss_percent,
         total_cost=m.total_cost,
         extra={"gp_solves": m.gp_solves, "wall_seconds": result.wall_seconds},
     )
+
+
+def _run_point(scenario: PaperScenario, queries: Sequence[PolynomialQuery],
+               algorithm: AlgorithmName, mu: float, duration: int,
+               seed: int, **overrides) -> ExperimentPoint:
+    config = _point_config(scenario, queries, algorithm, mu, duration, seed,
+                           **overrides)
+    return _point_from_result(len(queries), run_simulation(config))
+
+
+def _run_plan(plan, jobs: Optional[int]) -> None:
+    """Run a list of ``(series, x, config)`` entries — in parallel when
+    ``jobs`` asks for it — and append the points in plan order.
+
+    Every run's randomness is derived from its config alone, so the
+    parallel fan-out is bit-identical to the serial loop (see
+    ``repro.experiments.sweeps``).
+    """
+    from repro.experiments.sweeps import run_configs
+
+    results = run_configs([config for _, _, config in plan], jobs=jobs)
+    for (curve, x, _), result in zip(plan, results):
+        curve.points.append(_point_from_result(x, result))
 
 
 # ---------------------------------------------------------------------------
@@ -88,6 +113,7 @@ def run_figure5(
     item_count: int = 40,
     trace_length: int = 401,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[ExperimentSeries]:
     """Fig. 5(a/b/c): recomputations, refreshes and fidelity loss vs number
     of portfolio PPQs, for Optimal Refresh and Dual-DAB at several μ.
@@ -99,19 +125,23 @@ def run_figure5(
                                trace_length=trace_length, seed=seed)
     duration = trace_length - 1
     series: List[ExperimentSeries] = [ExperimentSeries("Optimal Refresh")]
+    plan = []
     for count in query_counts:
         queries = scenario.queries[:count]
-        series[0].points.append(_run_point(scenario, queries,
-                                           AlgorithmName.OPTIMAL_REFRESH,
-                                           mu=1.0, duration=duration, seed=seed))
+        plan.append((series[0], count,
+                     _point_config(scenario, queries,
+                                   AlgorithmName.OPTIMAL_REFRESH,
+                                   mu=1.0, duration=duration, seed=seed)))
     for mu in mus:
         curve = ExperimentSeries(f"Dual-DAB, mu={mu:g}")
         for count in query_counts:
             queries = scenario.queries[:count]
-            curve.points.append(_run_point(scenario, queries,
-                                           AlgorithmName.DUAL_DAB,
-                                           mu=mu, duration=duration, seed=seed))
+            plan.append((curve, count,
+                         _point_config(scenario, queries,
+                                       AlgorithmName.DUAL_DAB,
+                                       mu=mu, duration=duration, seed=seed)))
         series.append(curve)
+    _run_plan(plan, jobs)
     # Total cost for a series is evaluated at that series' own mu; for the
     # Optimal Refresh curve re-evaluate per mu for fair Fig-6(c)-style use.
     return series
@@ -127,6 +157,7 @@ def run_figure6(
     item_count: int = 40,
     trace_length: int = 401,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[ExperimentSeries]:
     """Fig. 6(a/b/c): Dual-DAB under the monotonic vs random-walk ddm vs
     no rate information (λ=1), over the same GBM traces."""
@@ -141,14 +172,17 @@ def run_figure6(
                      dict(ddm="monotonic", rate_estimator=UnitRateEstimator()),
                      mus[-1]))
     series = []
+    plan = []
     for label, overrides, mu in variants:
         curve = ExperimentSeries(label)
         for count in query_counts:
             queries = scenario.queries[:count]
-            curve.points.append(_run_point(scenario, queries, AlgorithmName.DUAL_DAB,
-                                           mu=mu, duration=duration, seed=seed,
-                                           **overrides))
+            plan.append((curve, count,
+                         _point_config(scenario, queries, AlgorithmName.DUAL_DAB,
+                                       mu=mu, duration=duration, seed=seed,
+                                       **overrides)))
         series.append(curve)
+    _run_plan(plan, jobs)
     return series
 
 
@@ -163,6 +197,7 @@ def run_figure7(
     item_count: int = 40,
     trace_length: int = 401,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[ExperimentSeries]:
     """Fig. 7(a/b/c): refreshes, recomputations and total cost vs μ for EQI
     and AAO-T at several recomputation periods T (paper: T=30..1500 over
@@ -172,19 +207,20 @@ def run_figure7(
     duration = trace_length - 1
     queries = scenario.queries
     series = [ExperimentSeries("EQI")]
+    plan = []
     for mu in mus:
-        point = _run_point(scenario, queries, AlgorithmName.DUAL_DAB, mu=mu,
-                           duration=duration, seed=seed)
-        point.x = mu
-        series[0].points.append(point)
+        plan.append((series[0], mu,
+                     _point_config(scenario, queries, AlgorithmName.DUAL_DAB,
+                                   mu=mu, duration=duration, seed=seed)))
     for period in periods:
         curve = ExperimentSeries(f"AAO-{period}")
         for mu in mus:
-            point = _run_point(scenario, queries, AlgorithmName.AAO_T, mu=mu,
-                               duration=duration, seed=seed, aao_period=period)
-            point.x = mu
-            curve.points.append(point)
+            plan.append((curve, mu,
+                         _point_config(scenario, queries, AlgorithmName.AAO_T,
+                                       mu=mu, duration=duration, seed=seed,
+                                       aao_period=period)))
         series.append(curve)
+    _run_plan(plan, jobs)
     return series
 
 
@@ -199,6 +235,7 @@ def run_figure8ab(
     item_count: int = 40,
     trace_length: int = 401,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[ExperimentSeries]:
     """Fig. 8(a) independent / 8(b) dependent arbitrage PQs: number of
     recomputations for HH vs DS across μ."""
@@ -210,15 +247,18 @@ def run_figure8ab(
                                query_kind="arbitrage", workload=workload)
     duration = trace_length - 1
     series = []
+    plan = []
     for algorithm, tag in ((AlgorithmName.HALF_AND_HALF, "HH"),
                            (AlgorithmName.DIFFERENT_SUM, "DS")):
         for mu in mus:
             curve = ExperimentSeries(f"{tag}, mu={mu:g}")
             for count in query_counts:
                 queries = scenario.queries[:count]
-                curve.points.append(_run_point(scenario, queries, algorithm,
-                                               mu=mu, duration=duration, seed=seed))
+                plan.append((curve, count,
+                             _point_config(scenario, queries, algorithm,
+                                           mu=mu, duration=duration, seed=seed)))
             series.append(curve)
+    _run_plan(plan, jobs)
     return series
 
 

@@ -93,3 +93,13 @@ class QuantisingCachePlanner:
     def clear(self) -> None:
         self._cache.clear()
         self.stats = CacheStats()
+
+    def clear_warm_starts(self) -> None:
+        """Drop the inner planner's solver warm starts (fault resync).
+
+        Cached *plans* stay: they are value-keyed and remain sound; only
+        the solver's start points can go stale across a topology change.
+        """
+        clear = getattr(self.planner, "clear_warm_starts", None)
+        if clear is not None:
+            clear()

@@ -95,6 +95,34 @@ def build_dual_dab_program(
     return program
 
 
+def build_widen_program(
+    query: PolynomialQuery,
+    values: Mapping[str, float],
+    primary: Mapping[str, float],
+    cost_model: CostModel,
+    constrain_window: bool = True,
+) -> GeometricProgram:
+    """Construct the second-pass widening GP (see :func:`widen_secondary`);
+    exposed so the compiled-template path can build it once per query."""
+    items = query.variables
+    fixed = {primary_variable(name): float(primary[name]) for name in items}
+    objective = Posynomial([
+        Monomial(max(cost_model.rate_of(name), 1e-12), {secondary_variable(name): -1.0})
+        for name in items
+    ])
+    program = GeometricProgram(objective=objective)
+    condition = substitute(
+        dual_dab_condition(query.terms, values, query.qab), fixed
+    )
+    program.add_constraint(condition, 1.0, name="qab")
+    for name in items:
+        c = Monomial.variable(secondary_variable(name))
+        program.add_constraint(float(primary[name]) / c, 1.0, name=f"order[{name}]")
+        if constrain_window:
+            program.add_constraint(c / float(values[name]), 1.0, name=f"window[{name}]")
+    return program
+
+
 def widen_secondary(
     query: PolynomialQuery,
     values: Mapping[str, float],
@@ -115,21 +143,8 @@ def widen_secondary(
     and never loosening the QAB guarantee.
     """
     items = query.variables
-    fixed = {primary_variable(name): float(primary[name]) for name in items}
-    objective = Posynomial([
-        Monomial(max(cost_model.rate_of(name), 1e-12), {secondary_variable(name): -1.0})
-        for name in items
-    ])
-    program = GeometricProgram(objective=objective)
-    condition = substitute(
-        dual_dab_condition(query.terms, values, query.qab), fixed
-    )
-    program.add_constraint(condition, 1.0, name="qab")
-    for name in items:
-        c = Monomial.variable(secondary_variable(name))
-        program.add_constraint(float(primary[name]) / c, 1.0, name=f"order[{name}]")
-        if constrain_window:
-            program.add_constraint(c / float(values[name]), 1.0, name=f"window[{name}]")
+    program = build_widen_program(query, values, primary, cost_model,
+                                  constrain_window=constrain_window)
     solution = program.solve(initial=initial)
     secondary = {name: solution.values[secondary_variable(name)] for name in items}
     for name in items:
@@ -146,12 +161,15 @@ class DualDABPlanner:
     """
 
     def __init__(self, cost_model: CostModel, constrain_window: bool = True,
-                 widen_windows: bool = True, recompute_envelope: str = "sum"):
+                 widen_windows: bool = True, recompute_envelope: str = "sum",
+                 use_compiled: bool = False):
         self.cost_model = cost_model
         self.constrain_window = constrain_window
         self.widen_windows = widen_windows
         self.recompute_envelope = recompute_envelope
+        self.use_compiled = bool(use_compiled)
         self._warm_starts: Dict[str, Dict[str, float]] = {}
+        self._templates: Dict[str, object] = {}
 
     def plan(self, query: PolynomialQuery, values: Mapping[str, float]) -> DABAssignment:
         """Compute primary and secondary DABs at the given item values.
@@ -163,11 +181,26 @@ class DualDABPlanner:
         _require_ppq(query, "DualDABPlanner")
         items = query.variables
 
-        program = build_dual_dab_program(
-            query, values, self.cost_model, constrain_window=self.constrain_window,
-            recompute_envelope=self.recompute_envelope,
-        )
-        solution = program.solve(initial=self._warm_starts.get(query.name))
+        template = None
+        if self.use_compiled:
+            template = self._templates.get(query.name)
+            if template is None:
+                from repro.filters.compiled_gp import CompiledDualDabTemplate
+
+                template = CompiledDualDabTemplate(
+                    query, values, self.cost_model,
+                    constrain_window=self.constrain_window,
+                    recompute_envelope=self.recompute_envelope,
+                )
+                self._templates[query.name] = template
+            solution = template.solve(
+                values, initial=self._warm_starts.get(query.name))
+        else:
+            program = build_dual_dab_program(
+                query, values, self.cost_model, constrain_window=self.constrain_window,
+                recompute_envelope=self.recompute_envelope,
+            )
+            solution = program.solve(initial=self._warm_starts.get(query.name))
         self._warm_starts[query.name] = dict(solution.values)
 
         primary = {name: solution.values[primary_variable(name)] for name in items}
@@ -177,11 +210,17 @@ class DualDABPlanner:
             if secondary[name] < primary[name]:
                 secondary[name] = primary[name]
         if self.widen_windows:
-            secondary = widen_secondary(
-                query, values, primary, self.cost_model,
-                constrain_window=self.constrain_window,
-                initial=self._warm_starts.get(query.name),
-            )
+            if template is not None:
+                secondary = template.widen(
+                    values, primary,
+                    initial=self._warm_starts.get(query.name),
+                )
+            else:
+                secondary = widen_secondary(
+                    query, values, primary, self.cost_model,
+                    constrain_window=self.constrain_window,
+                    initial=self._warm_starts.get(query.name),
+                )
         return DABAssignment(
             primary=primary,
             secondary=secondary,

@@ -95,6 +95,12 @@ class HalfAndHalfPlanner:
         a2 = self.base.plan(q2, values)
         return _merge_half_plans(a1, a2)
 
+    def clear_warm_starts(self) -> None:
+        """Drop the base planner's cached solver starts (fault resync)."""
+        clear = getattr(self.base, "clear_warm_starts", None)
+        if clear is not None:
+            clear()
+
 
 class DifferentSumPlanner:
     """Heuristic 2: solve the positive mirror ``P1 + P2 : B`` as one PPQ."""
@@ -108,6 +114,12 @@ class DifferentSumPlanner:
             return self.base.plan(query, values)
         mirror = query.positive_mirror()
         return self.base.plan(mirror, values)
+
+    def clear_warm_starts(self) -> None:
+        """Drop the base planner's cached solver starts (fault resync)."""
+        clear = getattr(self.base, "clear_warm_starts", None)
+        if clear is not None:
+            clear()
 
 
 def dispatch_planner(cost_model: CostModel, *, dual: bool = True,

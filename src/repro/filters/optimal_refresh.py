@@ -34,12 +34,33 @@ def _require_ppq(query: PolynomialQuery, planner: str) -> None:
         )
 
 
-class OptimalRefreshPlanner:
-    """Refresh-optimal single-DAB planner for PPQs."""
+def build_optimal_refresh_program(
+    query: PolynomialQuery,
+    values: Mapping[str, float],
+    cost_model: CostModel,
+) -> GeometricProgram:
+    """Construct the Optimal-Refresh GP for one PPQ (exposed so the
+    compiled-template path can build it once per query)."""
+    program = GeometricProgram(objective=cost_model.refresh_objective(query.variables))
+    condition = deviation_posynomial(query.terms, values, include_secondary=False)
+    program.add_constraint(condition / query.qab, 1.0, name="qab")
+    return program
 
-    def __init__(self, cost_model: CostModel):
+
+class OptimalRefreshPlanner:
+    """Refresh-optimal single-DAB planner for PPQs.
+
+    With ``use_compiled`` the per-query GP structure (exponent matrices,
+    constraint layout) is built once and only its log-coefficients refresh
+    per recomputation — bitwise identical solves, minus the posynomial
+    rebuild (see :mod:`repro.filters.compiled_gp`).
+    """
+
+    def __init__(self, cost_model: CostModel, use_compiled: bool = False):
         self.cost_model = cost_model
+        self.use_compiled = bool(use_compiled)
         self._warm_starts: Dict[str, Dict[str, float]] = {}
+        self._templates: Dict[str, object] = {}
 
     def plan(self, query: PolynomialQuery, values: Mapping[str, float]) -> DABAssignment:
         """Compute the refresh-optimal DABs at the given item values.
@@ -50,11 +71,19 @@ class OptimalRefreshPlanner:
         _require_ppq(query, "OptimalRefreshPlanner")
         items = query.variables
 
-        program = GeometricProgram(objective=self.cost_model.refresh_objective(items))
-        condition = deviation_posynomial(query.terms, values, include_secondary=False)
-        program.add_constraint(condition / query.qab, 1.0, name="qab")
+        if self.use_compiled:
+            template = self._templates.get(query.name)
+            if template is None:
+                from repro.filters.compiled_gp import CompiledOptimalRefreshTemplate
 
-        solution = program.solve(initial=self._warm_starts.get(query.name))
+                template = CompiledOptimalRefreshTemplate(
+                    query, values, self.cost_model)
+                self._templates[query.name] = template
+            solution = template.solve(
+                values, initial=self._warm_starts.get(query.name))
+        else:
+            program = build_optimal_refresh_program(query, values, self.cost_model)
+            solution = program.solve(initial=self._warm_starts.get(query.name))
         self._warm_starts[query.name] = dict(solution.values)
 
         primary = {name: solution.values[primary_variable(name)] for name in items}

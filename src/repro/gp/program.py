@@ -73,6 +73,18 @@ class CompiledProgram:
     constraints: List[CompiledFunction]
     constraint_names: List[str]
 
+    def solve(self, initial: Optional[Mapping[str, float]] = None, **kwargs):
+        """Solve these arrays directly; see
+        :func:`repro.gp.solver.solve_compiled`.
+
+        Planners that reuse a compiled structure mutate the ``log_c``
+        vectors in place between recomputations and re-solve without
+        rebuilding posynomials or recompiling.
+        """
+        from repro.gp.solver import solve_compiled
+
+        return solve_compiled(self, initial=initial, **kwargs)
+
 
 class GeometricProgram:
     """A standard-form geometric program.

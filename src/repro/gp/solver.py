@@ -215,7 +215,28 @@ def solve(
     SolverFailedError
         When scipy terminated abnormally on every start.
     """
-    compiled = program.compile()
+    return solve_compiled(program.compile(), initial=initial,
+                          max_starts=max_starts, maxiter=maxiter,
+                          seed=seed, tol=tol)
+
+
+def solve_compiled(
+    compiled: CompiledProgram,
+    initial: Optional[Mapping[str, float]] = None,
+    max_starts: int = 4,
+    maxiter: int = 300,
+    seed: int = 0,
+    tol: float = FEASIBILITY_TOL,
+) -> GPSolution:
+    """Solve an already-compiled program (see :func:`solve`).
+
+    This is the re-entry point for compiled-GP structure reuse: planners
+    keep a :class:`CompiledProgram` per query, refresh only its
+    log-coefficient vectors at each recomputation, and call this directly —
+    skipping the posynomial rebuild and ``compile()`` entirely.  Given
+    bitwise-identical arrays and warm start, the solve trajectory (and
+    hence the returned solution) is identical to the uncompiled path.
+    """
     bundle = _ConstraintBundle(compiled)
     rng = np.random.default_rng(seed)
     base = _initial_log_point(compiled, initial)

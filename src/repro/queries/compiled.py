@@ -1,0 +1,502 @@
+"""Precompiled array evaluators for polynomial queries and deviations.
+
+The simulator's two hottest loops — fidelity sampling and the coordinator's
+per-refresh query checks — both evaluate :class:`PolynomialQuery` objects
+term by term, dict lookup by dict lookup.  This module compiles a query
+once into gather-index/weight arrays so each evaluation is one fancy-index
+gather plus one ``multiply.reduce`` over a shared *power table*, and
+compiles the worst-case deviation expansion of
+:func:`repro.queries.deviation.deviation_posynomial` into a coefficient
+program so GP recomputations refresh log-coefficients instead of rebuilding
+posynomials.
+
+Bit-exactness contract
+----------------------
+Every compiled evaluator here is **bitwise identical** to its scalar
+counterpart, which is what lets the vectorized simulation paths reproduce
+the golden metrics exactly.  Three empirical facts shape the design:
+
+* ``numpy`` *array* ``**`` uses a SIMD pow path that differs from libm in
+  the last ulp for exponents >= 2, while Python's scalar ``**`` (and
+  ``np.float64 ** np.float64``) is exactly libm ``pow``.  Therefore every
+  power is computed with Python-level ``**`` — either once into a power
+  slab/vector, or incrementally when a cached value changes — and numpy is
+  used only for gather, ``multiply.reduce`` and comparisons, which are
+  IEEE-exact.
+* ``np.multiply.reduce(..., axis=1)`` multiplies strictly left-to-right,
+  so a row ``[w, p1, p2, ...]`` reproduces the scalar chain
+  ``((w * p1) * p2) ...``; padding with exact ``1.0`` factors is a bitwise
+  no-op.
+* ``np.sum`` uses pairwise summation which diverges from the sequential
+  ``sum()`` of the scalar path from 8 terms on; final sums are therefore
+  sequential Python loops.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.gp.monomial import _normalise_exponents
+from repro.queries.deviation import (
+    _require_positive_value,
+    primary_variable,
+    secondary_variable,
+)
+from repro.queries.polynomial import PolynomialQuery
+from repro.queries.terms import QueryTerm
+
+_PRIMARY_PREFIX = "b__"
+
+
+class PowerTable:
+    """Registry of ``(item, exponent)`` power slots shared by evaluators.
+
+    Slot 0 is a sentinel that always holds exactly ``1.0``; gather matrices
+    pad with it, making ragged term widths a bitwise no-op.  Real slots
+    start at index 1 so the sentinel survives later registrations.
+    """
+
+    __slots__ = ("_index", "pairs", "_by_item")
+
+    def __init__(self) -> None:
+        self._index: Dict[Tuple[str, int], int] = {}
+        #: Registered ``(item, exponent)`` pairs; slot ``i`` is ``pairs[i-1]``.
+        self.pairs: List[Tuple[str, int]] = []
+        self._by_item: Dict[str, List[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self.pairs) + 1
+
+    def slot(self, name: str, exponent: int) -> int:
+        """Slot index of ``name ** exponent``, registering it if new."""
+        key = (name, exponent)
+        index = self._index.get(key)
+        if index is None:
+            index = len(self.pairs) + 1
+            self._index[key] = index
+            self.pairs.append(key)
+            self._by_item.setdefault(name, []).append(index)
+        return index
+
+    def slots_of(self, name: str) -> Sequence[int]:
+        """Slots that depend on ``name`` (for incremental updates)."""
+        return self._by_item.get(name, ())
+
+    def vector(self, values: Mapping[str, float]) -> np.ndarray:
+        """The full power vector at the given item values."""
+        vec = np.empty(len(self.pairs) + 1)
+        vec[0] = 1.0
+        for i, (name, exponent) in enumerate(self.pairs):
+            vec[i + 1] = float(values[name]) ** exponent
+        return vec
+
+    def update(self, vector: np.ndarray, name: str, value: float) -> None:
+        """Refresh the slots of ``name`` after its cached value changed."""
+        for index in self._by_item.get(name, ()):
+            vector[index] = value ** self.pairs[index - 1][1]
+
+    def slab(self, traces: "object") -> np.ndarray:
+        """``(ticks, slots)`` power slab over a whole
+        :class:`~repro.dynamics.traces.TraceSet` — row ``t`` is
+        :meth:`vector` at tick ``t``, precomputed once with Python pow."""
+        length = traces.duration + 1
+        slab = np.empty((length, len(self.pairs) + 1))
+        slab[:, 0] = 1.0
+        for i, (name, exponent) in enumerate(self.pairs):
+            column = traces[name].values.tolist()
+            slab[:, i + 1] = [value ** exponent for value in column]
+        return slab
+
+
+class CompiledPolynomial:
+    """A query lowered to gather indices + a weight column.
+
+    ``evaluate_vector(pvec)`` equals ``query.evaluate(values)`` bitwise when
+    ``pvec`` holds the Python-pow powers of the same values.
+    """
+
+    __slots__ = ("query", "table", "_gather", "_factors")
+
+    def __init__(self, query: PolynomialQuery, table: Optional[PowerTable] = None):
+        self.query = query
+        self.table = table if table is not None else PowerTable()
+        terms = query.terms
+        width = max(len(term.key) for term in terms)
+        self._gather = np.zeros((len(terms), width), dtype=np.intp)
+        self._factors = np.ones((len(terms), width + 1))
+        for i, term in enumerate(terms):
+            self._factors[i, 0] = term.weight
+            for j, (name, exponent) in enumerate(term.key):
+                self._gather[i, j] = self.table.slot(name, exponent)
+
+    def evaluate_vector(self, pvec: np.ndarray) -> float:
+        """Query value from a power vector of this object's table."""
+        self._factors[:, 1:] = pvec[self._gather]
+        products = np.multiply.reduce(self._factors, axis=1)
+        total = 0.0
+        for value in products.tolist():
+            total += value
+        return total
+
+    def evaluate(self, values: Mapping[str, float]) -> float:
+        """Dict-based evaluation (test/reference path)."""
+        return self.evaluate_vector(self.table.vector(values))
+
+    def evaluate_slab(self, slab: np.ndarray) -> np.ndarray:
+        """Query value at every row of a power slab at once.
+
+        Row ``t`` equals ``evaluate_vector(slab[t])`` bitwise:
+        ``multiply.reduce`` along the last axis multiplies strictly
+        left-to-right per row, and the column-wise accumulation below adds
+        the per-term products in the same ``((0.0 + p0) + p1) ...``
+        sequence as the scalar sum.
+        """
+        factors = np.ones((slab.shape[0],) + self._factors.shape)
+        factors[:, :, 0] = self._factors[:, 0]
+        factors[:, :, 1:] = slab[:, self._gather]
+        products = np.multiply.reduce(factors, axis=2)
+        totals = np.zeros(slab.shape[0])
+        for j in range(products.shape[1]):
+            totals += products[:, j]
+        return totals
+
+
+class CompiledQueryBank:
+    """Many compiled queries stacked into one gather/reduce evaluation.
+
+    The coordinator touches several queries per refresh (and every query
+    per fidelity sample); evaluating them one ``evaluate_vector`` at a time
+    pays numpy's per-call overhead dozens of times per event.  The bank
+    concatenates all queries' term rows — padded to a common width with the
+    sentinel slot, a bitwise no-op — so one gather plus one
+    ``multiply.reduce`` yields every term product; per-query values are
+    then sequential Python sums over each query's row slice, reproducing
+    ``query.evaluate`` bitwise (same chain of IEEE adds from ``0.0``).
+    """
+
+    __slots__ = ("table", "_gather", "_factors", "_slices",
+                 "_scatter_rows", "_scatter_cols", "_matrix")
+
+    def __init__(self, compiled: Sequence[CompiledPolynomial]):
+        if not compiled:
+            raise ValueError("a query bank needs at least one compiled query")
+        table = compiled[0].table
+        for one in compiled:
+            if one.table is not table:
+                raise ValueError("bank queries must share one power table")
+        self.table = table
+        width = max(one._gather.shape[1] for one in compiled)
+        rows = sum(one._gather.shape[0] for one in compiled)
+        self._gather = np.zeros((rows, width), dtype=np.intp)
+        self._factors = np.ones((rows, width + 1))
+        self._slices: List[Tuple[int, int]] = []
+        start = 0
+        for one in compiled:
+            n, w = one._gather.shape
+            self._gather[start:start + n, :w] = one._gather
+            self._factors[start:start + n, 0] = one._factors[:, 0]
+            self._slices.append((start, start + n))
+            start += n
+        # Scatter map for values_vector(): term row -> (query, position).
+        # Padding cells of the matrix stay 0.0 forever — every non-pad cell
+        # is overwritten on each scatter, so the buffer can be reused.
+        depth = max(stop - begin for begin, stop in self._slices)
+        self._scatter_rows = np.zeros(rows, dtype=np.intp)
+        self._scatter_cols = np.zeros(rows, dtype=np.intp)
+        for q, (begin, stop) in enumerate(self._slices):
+            self._scatter_rows[begin:stop] = q
+            self._scatter_cols[begin:stop] = np.arange(stop - begin)
+        self._matrix = np.zeros((len(self._slices), depth))
+
+    def products(self, pvec: np.ndarray) -> List[float]:
+        """All queries' term products at once (input to :meth:`value_of`)."""
+        self._factors[:, 1:] = pvec[self._gather]
+        return np.multiply.reduce(self._factors, axis=1).tolist()
+
+    def value_of(self, index: int, products: List[float]) -> float:
+        """Query ``index``'s value from a :meth:`products` result."""
+        start, stop = self._slices[index]
+        total = 0.0
+        for j in range(start, stop):
+            total += products[j]
+        return total
+
+    def values(self, pvec: np.ndarray) -> List[float]:
+        """Every query's value at the given power vector."""
+        products = self.products(pvec)
+        return [self.value_of(i, products) for i in range(len(self._slices))]
+
+    def values_vector(self, pvec: np.ndarray) -> np.ndarray:
+        """Every query's value as one array, bitwise equal to :meth:`values`.
+
+        Term products are scattered into a (query, term-position) matrix and
+        the columns accumulated left to right, so query ``q``'s total runs
+        the same ``((0.0 + p0) + p1) ...`` chain as :meth:`value_of`,
+        followed by trailing ``+ 0.0`` adds over the padding cells.  Those
+        are bitwise no-ops: a running IEEE sum that starts at ``+0.0`` can
+        never become ``-0.0`` (``x + y`` is ``-0.0`` only when both addends
+        are), so ``total + 0.0`` reproduces ``total`` exactly.
+        """
+        self._factors[:, 1:] = pvec[self._gather]
+        products = np.multiply.reduce(self._factors, axis=1)
+        matrix = self._matrix
+        matrix[self._scatter_rows, self._scatter_cols] = products
+        totals = np.zeros(matrix.shape[0])
+        for j in range(matrix.shape[1]):
+            totals += matrix[:, j]
+        return totals
+
+
+# ---------------------------------------------------------------------------
+# Compiled deviation expansion
+# ---------------------------------------------------------------------------
+#
+# The coefficient of each monomial of ``deviation_posynomial`` is an exact
+# arithmetic program over the current item values: products of binomial/
+# multinomial integers and Python pows folded left-to-right, with like-term
+# sums folded in collection order.  ``CompiledDeviation`` runs the scalar
+# expansion once *symbolically* — replicating the exact monomial signature
+# merging, canonical sorting and like-term combining of the Posynomial
+# algebra — and records one expression per output row.  Re-evaluating the
+# expressions at new values reproduces the scalar coefficients bitwise
+# without rebuilding any Posynomial.
+
+class _Coef:
+    __slots__ = ()
+
+
+class _Const(_Coef):
+    __slots__ = ("value",)
+
+    def __init__(self, value: float):
+        self.value = value
+
+
+class _Mul(_Coef):
+    """``left * (comb * value ** exponent)`` — one factor of the chain."""
+
+    __slots__ = ("left", "comb", "name", "exponent")
+
+    def __init__(self, left: _Coef, comb: int, name: str, exponent: int):
+        self.left = left
+        self.comb = comb
+        self.name = name
+        self.exponent = exponent
+
+
+class _Sum(_Coef):
+    """``0.0 + part_1 + part_2 + ...`` in collection order."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: List[_Coef]):
+        self.parts = parts
+
+
+def _evaluate_coef(expr: _Coef, values: Mapping[str, float],
+                   powers: Dict[Tuple[str, int], float]) -> float:
+    if isinstance(expr, _Const):
+        return expr.value
+    if isinstance(expr, _Mul):
+        key = (expr.name, expr.exponent)
+        power = powers.get(key)
+        if power is None:
+            power = _require_positive_value(expr.name, values) ** expr.exponent
+            powers[key] = power
+        return _evaluate_coef(expr.left, values, powers) * (expr.comb * power)
+    total = 0.0
+    for part in expr.parts:
+        total = total + _evaluate_coef(part, values, powers)
+    return total
+
+
+def _combine(parts: List[_Coef]) -> _Coef:
+    # Posynomial construction folds like terms as ``0.0 + c1 + c2 + ...``;
+    # for a single contribution ``0.0 + c == c`` bitwise, so skip the sum.
+    return parts[0] if len(parts) == 1 else _Sum(parts)
+
+
+def _merge_signatures(a: Tuple[Tuple[str, float], ...],
+                      b: Tuple[Tuple[str, float], ...]) -> Tuple[Tuple[str, float], ...]:
+    """Replicates ``Monomial.__mul__`` exponent merging + normalisation."""
+    merged: Dict[str, float] = dict(a)
+    for name, exponent in b:
+        merged[name] = merged.get(name, 0.0) + exponent
+    return _normalise_exponents(merged)
+
+
+class CompiledDeviation:
+    """Structure-compiled :func:`deviation_posynomial` for one term set.
+
+    ``coefficients(values)`` returns, bitwise, the coefficient of each term
+    of ``deviation_posynomial(terms, values, include_secondary)`` in its
+    canonical (sorted-signature) order; the signatures themselves are
+    value-independent and exposed for building static exponent matrices.
+    """
+
+    def __init__(self, terms: Iterable[QueryTerm], include_secondary: bool = False):
+        self.include_secondary = include_secondary
+        collected: List[Tuple[Tuple[Tuple[str, float], ...], _Coef]] = []
+        for term in terms:
+            product: List[Tuple[Tuple[Tuple[str, float], ...], _Coef]] = [
+                ((), _Const(abs(float(term.weight))))
+            ]
+            for name, power in term.key:
+                factor = self._factor_monomials(name, power, include_secondary)
+                grouped: Dict[Tuple[Tuple[str, float], ...], List[_Coef]] = {}
+                for sig_a, expr_a in product:
+                    for sig_f, comb, vexp in factor:
+                        sig = _merge_signatures(sig_a, sig_f)
+                        grouped.setdefault(sig, []).append(
+                            _Mul(expr_a, comb, name, vexp))
+                product = [(sig, _combine(parts))
+                           for sig, parts in sorted(grouped.items())]
+            collected.extend(
+                (sig, expr) for sig, expr in product
+                if any(v.startswith(_PRIMARY_PREFIX) for v, _ in sig)
+            )
+        grouped_rows: Dict[Tuple[Tuple[str, float], ...], List[_Coef]] = {}
+        for sig, expr in collected:
+            grouped_rows.setdefault(sig, []).append(expr)
+        self._rows: List[Tuple[Tuple[Tuple[str, float], ...], _Coef]] = [
+            (sig, _combine(parts)) for sig, parts in sorted(grouped_rows.items())
+        ]
+
+    @staticmethod
+    def _factor_monomials(name: str, power: int, include_secondary: bool):
+        """Sorted-signature monomials of one ``_factor_expansion`` factor:
+        ``(signature, comb, value_exponent)`` triples."""
+        b_var = primary_variable(name)
+        monomials = []
+        if include_secondary:
+            c_var = secondary_variable(name)
+            for j in range(power + 1):
+                for k in range(power - j + 1):
+                    comb = math.comb(power, j) * math.comb(power - j, k)
+                    exponents: Dict[str, int] = {}
+                    if j:
+                        exponents[c_var] = j
+                    if k:
+                        exponents[b_var] = k
+                    monomials.append(
+                        (_normalise_exponents(exponents), comb, power - j - k))
+        else:
+            for k in range(power + 1):
+                exponents = {b_var: k} if k else {}
+                monomials.append(
+                    (_normalise_exponents(exponents), math.comb(power, k),
+                     power - k))
+        monomials.sort(key=lambda m: m[0])
+        return monomials
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def signatures(self) -> Tuple[Tuple[Tuple[str, float], ...], ...]:
+        """Canonical exponent signature of each row, in output order."""
+        return tuple(sig for sig, _ in self._rows)
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        names = set()
+        for sig, _ in self._rows:
+            names.update(name for name, _ in sig)
+        return tuple(sorted(names))
+
+    def exponent_matrix(self, order: Sequence[str]) -> np.ndarray:
+        """Static ``A`` matrix over ``order`` (matches
+        ``Posynomial.exponent_matrix`` for the scalar expansion)."""
+        index = {name: j for j, name in enumerate(order)}
+        A = np.zeros((len(self._rows), len(order)))
+        for i, (sig, _) in enumerate(self._rows):
+            for name, exponent in sig:
+                A[i, index[name]] = exponent
+        return A
+
+    # -- evaluation --------------------------------------------------------------
+
+    def coefficients(self, values: Mapping[str, float],
+                     qab: Optional[float] = None) -> List[float]:
+        """Row coefficients at ``values`` (divided by ``qab`` when given),
+        bitwise equal to the scalar ``deviation_posynomial`` (and to
+        ``dual_dab_condition``/``condition / qab`` with ``qab``)."""
+        powers: Dict[Tuple[str, int], float] = {}
+        out = []
+        for _, expr in self._rows:
+            coefficient = _evaluate_coef(expr, values, powers)
+            if qab is not None:
+                coefficient = coefficient / float(qab)
+            out.append(coefficient)
+        return out
+
+    def log_coefficients(self, values: Mapping[str, float],
+                         qab: Optional[float] = None) -> np.ndarray:
+        return np.array([math.log(c) for c in self.coefficients(values, qab)])
+
+    def substituted(self, fixed_names: Iterable[str]) -> "CompiledSubstitution":
+        """Structure of ``substitute(posy, fixed)`` with the named variables
+        folded into the coefficients (the widening pass fixes every ``b``)."""
+        return CompiledSubstitution(self, fixed_names)
+
+
+class CompiledSubstitution:
+    """Compiled ``repro.gp.posynomial.substitute`` over a compiled deviation.
+
+    Row structure (residual signatures, like-term regrouping) is
+    value-independent; ``coefficients`` folds the fixed variables into the
+    parent's coefficients exactly as the scalar ``substitute`` does.
+    """
+
+    def __init__(self, parent: CompiledDeviation, fixed_names: Iterable[str]):
+        self.parent = parent
+        fixed = set(fixed_names)
+        grouped: Dict[Tuple[Tuple[str, float], ...],
+                      List[Tuple[int, List[Tuple[str, float]]]]] = {}
+        for index, sig in enumerate(parent.signatures):
+            multipliers = [(name, exp) for name, exp in sig if name in fixed]
+            residual = tuple((name, exp) for name, exp in sig
+                             if name not in fixed)
+            grouped.setdefault(residual, []).append((index, multipliers))
+        self._rows = sorted(grouped.items())
+
+    @property
+    def signatures(self) -> Tuple[Tuple[Tuple[str, float], ...], ...]:
+        return tuple(sig for sig, _ in self._rows)
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        names = set()
+        for sig, _ in self._rows:
+            names.update(name for name, _ in sig)
+        return tuple(sorted(names))
+
+    @property
+    def is_constant(self) -> bool:
+        """True when every fixed-variable fold leaves no free variable."""
+        return all(not sig for sig, _ in self._rows)
+
+    def exponent_matrix(self, order: Sequence[str]) -> np.ndarray:
+        index = {name: j for j, name in enumerate(order)}
+        A = np.zeros((len(self._rows), len(order)))
+        for i, (sig, _) in enumerate(self._rows):
+            for name, exponent in sig:
+                A[i, index[name]] = exponent
+        return A
+
+    def coefficients(self, parent_coefficients: Sequence[float],
+                     fixed: Mapping[str, float]) -> List[float]:
+        """Residual-row coefficients, bitwise equal to
+        ``substitute(parent_posynomial, fixed).terms`` coefficients."""
+        out = []
+        for _, contributions in self._rows:
+            total = 0.0
+            for index, multipliers in contributions:
+                coefficient = parent_coefficients[index]
+                for name, exponent in multipliers:
+                    coefficient *= float(fixed[name]) ** exponent
+                total = total + coefficient
+            out.append(total)
+        return out

@@ -41,10 +41,17 @@ coordinator additionally runs the degradation protocol:
 from __future__ import annotations
 
 import enum
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.exceptions import GPError, SimulationError
 from repro.filters.assignment import DABAssignment, merge_primary
+from repro.queries.compiled import (
+    CompiledPolynomial,
+    CompiledQueryBank,
+    PowerTable,
+)
 from repro.queries.polynomial import PolynomialQuery
 from repro.simulation.events import Event, EventKind, EventQueue
 from repro.simulation.faults import DISABLED, FaultModel
@@ -80,6 +87,7 @@ class Coordinator:
         recompute_delay: Optional[DelayModel] = None,
         rate_tracker: Optional[object] = None,
         fault_model: Optional[FaultModel] = None,
+        vectorize: bool = False,
     ):
         if not queries:
             raise SimulationError("a coordinator needs at least one query")
@@ -125,10 +133,58 @@ class Coordinator:
         self._last_sent_bounds: Dict[str, float] = {}
         self._sources: Dict[int, object] = {}
 
+        # -- vectorized fast path (bitwise-equal to the scalar one) -----------
+        self._vectorize = bool(vectorize)
+        self._compiled: Dict[str, CompiledPolynomial] = {}
+        self._power_table: Optional[PowerTable] = None
+        self._power_vector: Optional[np.ndarray] = None
+        self._bank: Optional[CompiledQueryBank] = None
+        self._bank_index: Dict[str, int] = {}
+        #: query name -> mutable [plan, missing_ref, breach_count, flags,
+        #: references, widened]; maintained incrementally as items refresh,
+        #: rebuilt whenever the query's plan object changes.
+        self._window_state: Dict[str, list] = {}
+        if self._vectorize:
+            self._power_table = PowerTable()
+            for query in self.queries:
+                self._compiled[query.name] = CompiledPolynomial(
+                    query, self._power_table)
+            self._power_vector = self._power_table.vector(self.cache)
+            self._bank = CompiledQueryBank(
+                [self._compiled[query.name] for query in self.queries])
+            self._bank_index = {query.name: i
+                                for i, query in enumerate(self.queries)}
+
         self.item_index: Dict[str, List[PolynomialQuery]] = {}
         for query in self.queries:
             for name in query.variables:
                 self.item_index.setdefault(name, []).append(query)
+
+        #: Vectorized notification state: per-query QABs and the last
+        #: user-visible values mirrored as arrays (bank order), plus each
+        #: item's affected-query indices, so one masked compare replaces the
+        #: per-query notification loop in ``on_refresh``.
+        self._qab_arr: Optional[np.ndarray] = None
+        self._last_user_arr: Optional[np.ndarray] = None
+        self._affected_idx: Dict[str, np.ndarray] = {}
+        self._item_banks: Dict[str, CompiledQueryBank] = {}
+        if self._vectorize:
+            self._qab_arr = np.array([q.qab for q in self.queries], dtype=float)
+            self._last_user_arr = np.zeros(len(self.queries))
+            self._affected_idx = {
+                name: np.array([self._bank_index[q.name] for q in affected],
+                               dtype=np.intp)
+                for name, affected in self.item_index.items()
+            }
+            # Per-item sub-banks: a refresh of one item only needs the
+            # values of the queries containing it, so evaluating a bank
+            # restricted to those rows does strictly less work than the
+            # full bank while producing bitwise-identical per-query sums.
+            self._item_banks = {
+                name: CompiledQueryBank(
+                    [self._compiled[q.name] for q in affected])
+                for name, affected in self.item_index.items()
+            }
 
         #: Per-item monotone DAB epoch (incremented on every shipped change).
         self.epochs: Dict[str, int] = {}
@@ -169,8 +225,11 @@ class Coordinator:
         else:
             for query in self.queries:
                 self.plans[query.name] = self._plan_query(query)
-        for query in self.queries:
-            self.last_user_values[query.name] = query.evaluate(self.cache)
+        for index, query in enumerate(self.queries):
+            value = self.query_value(query)
+            self.last_user_values[query.name] = value
+            if self._last_user_arr is not None:
+                self._last_user_arr[index] = value
         merged = merge_primary(self.plans.values())
         self._last_sent_bounds = dict(merged)
         for source_id, source in self._sources.items():
@@ -186,8 +245,97 @@ class Coordinator:
     def _values_for(self, query: PolynomialQuery) -> Dict[str, float]:
         return {name: self.cache[name] for name in query.variables}
 
+    @property
+    def power_table(self) -> PowerTable:
+        """The shared (item, exponent) slot registry (vectorized runs only)."""
+        if self._power_table is None:
+            raise SimulationError("coordinator was built with vectorize=False")
+        return self._power_table
+
+    def compiled_query(self, query: PolynomialQuery) -> CompiledPolynomial:
+        """The compiled evaluator for ``query`` (vectorized runs only)."""
+        return self._compiled[query.name]
+
     def query_value(self, query: PolynomialQuery) -> float:
+        if self._vectorize:
+            return self._compiled[query.name].evaluate_vector(self._power_vector)
         return query.evaluate(self.cache)
+
+    def query_values(self) -> List[float]:
+        """Every query's value at the current cache, in ``queries`` order —
+        one banked evaluation on vectorized runs."""
+        if self._vectorize:
+            return self._bank.values_vector(self._power_vector).tolist()
+        return [query.evaluate(self.cache) for query in self.queries]
+
+    def query_values_array(self) -> np.ndarray:
+        """Array form of :meth:`query_values` (vectorized runs only)."""
+        return self._bank.values_vector(self._power_vector)
+
+    def _window_contains(self, query: PolynomialQuery, plan: DABAssignment,
+                         changed_item: Optional[str] = None) -> bool:
+        """``plan.window_contains(self._values_for(query))``, incremental.
+
+        The breach predicate per item — ``|value - ref| > secondary + 1e-12``
+        on the same float64 values — is replayed exactly, but evaluated only
+        when an input actually changes: ``changed_item`` names the one item
+        whose cache value moved since the last check (every refresh of an
+        item checks every query containing it, so flags never go stale), and
+        a plan change rebuilds the query's flags from scratch.  The check
+        itself is then a zero-compare.  Single-DAB plans (``secondary is
+        None``, exact-equality semantics) stay on the scalar path.
+        """
+        if not self._vectorize or plan.secondary is None:
+            return plan.window_contains(self._values_for(query))
+        entry = self._window_state.get(query.name)
+        if entry is not None and entry[0] is plan:
+            if entry[1]:
+                return False
+            if changed_item is not None:
+                flags = entry[3]
+                old = flags.get(changed_item)
+                if old is not None:
+                    breached = (abs(self.cache[changed_item]
+                                    - entry[4][changed_item])
+                                > entry[5][changed_item])
+                    if breached is not old:
+                        flags[changed_item] = breached
+                        entry[2] += 1 if breached else -1
+            return entry[2] == 0
+        variables = set(query.variables)
+        missing = False
+        count = 0
+        flags: Dict[str, bool] = {}
+        references: Dict[str, float] = {}
+        widened: Dict[str, float] = {}
+        for name in plan.primary:
+            if name not in variables:
+                continue
+            reference = plan.reference_values.get(name)
+            if reference is None:
+                missing = True
+                break
+            wide = plan.secondary[name] + 1e-12
+            breached = abs(self.cache[name] - reference) > wide
+            flags[name] = breached
+            count += breached
+            references[name] = reference
+            widened[name] = wide
+        self._window_state[query.name] = [plan, missing, count, flags,
+                                          references, widened]
+        if missing:
+            return False
+        return count == 0
+
+    def _clear_planner_warm_starts(self) -> None:
+        """A recovered source resynced: its items may have drifted
+        arbitrarily far while it was down, so solver warm starts anchored
+        near the pre-crash optimum are stale — drop them before the replan
+        this resync triggers (plan caches stay; they are value-keyed)."""
+        for planner in (self.planner, self.aao_planner):
+            clear = getattr(planner, "clear_warm_starts", None)
+            if clear is not None:
+                clear()
 
     def _plan_query(self, query: PolynomialQuery) -> DABAssignment:
         """One guarded GP solve: solver failures degrade, never escape."""
@@ -324,29 +472,87 @@ class Coordinator:
                 return
             self.last_seq[item] = int(seq)
         self.cache[item] = float(event.payload["value"])
+        if self._vectorize:
+            self._power_table.update(self._power_vector, item, self.cache[item])
         self.metrics.record_refresh()
         self._hear_from_item(item, event.time)
+        if self.faults.enabled and event.payload.get("resync"):
+            self._clear_planner_warm_starts()
         if self.rate_tracker is not None:
             self.rate_tracker.observe(item, self.cache[item], event.time)
 
         affected = self.item_index.get(item, [])
         recomputed = False
-        for query in affected:
-            # User notification: has the result moved beyond the QAB since
-            # the last value the user saw?
-            value = self.query_value(query)
-            if abs(value - self.last_user_values[query.name]) > query.qab:
-                self.last_user_values[query.name] = value
-                self.metrics.record_user_notification()
-
+        if self._vectorize and affected:
+            # User notification, batched: one sub-bank evaluation gives
+            # every affected query's value (the cache cannot change again
+            # within this event), and one masked compare finds the queries
+            # whose result moved beyond the QAB since the user last saw it.
+            # Notifications draw no randomness, so hoisting them ahead of
+            # the recompute loop leaves the event-stream state untouched.
+            idx = self._affected_idx[item]
+            sub = self._item_banks[item].values_vector(self._power_vector)
+            moved = np.abs(sub - self._last_user_arr[idx]) > self._qab_arr[idx]
+            if moved.any():
+                for pos in np.nonzero(moved)[0].tolist():
+                    bank_pos = int(idx[pos])
+                    value = float(sub[pos])
+                    self.last_user_values[self.queries[bank_pos].name] = value
+                    self._last_user_arr[bank_pos] = value
+                    self.metrics.record_user_notification()
             if self.mode is RecomputeMode.EVERY_REFRESH:
-                self._recompute(query)
+                for query in affected:
+                    self._recompute(query)
                 recomputed = True
             else:
-                plan = self.plans.get(query.name)
-                if plan is None or not plan.window_contains(self._values_for(query)):
+                # The window check, inlined from ``_window_contains``'s fast
+                # path: only ``item`` moved, so only its breach flag can
+                # have changed since the last check of the same plan.
+                plans = self.plans
+                wstate = self._window_state
+                cache_value = self.cache[item]
+                for query in affected:
+                    plan = plans.get(query.name)
+                    if plan is not None:
+                        entry = wstate.get(query.name)
+                        if entry is not None and entry[0] is plan:
+                            if entry[1]:
+                                contains = False
+                            else:
+                                flags = entry[3]
+                                old = flags.get(item)
+                                if old is not None:
+                                    breached = (abs(cache_value
+                                                    - entry[4][item])
+                                                > entry[5][item])
+                                    if breached is not old:
+                                        flags[item] = breached
+                                        entry[2] += 1 if breached else -1
+                                contains = entry[2] == 0
+                        else:
+                            contains = self._window_contains(query, plan,
+                                                             item)
+                        if contains:
+                            continue
                     self._recompute(query)
                     recomputed = True
+        else:
+            for query in affected:
+                # User notification: has the result moved beyond the QAB
+                # since the last value the user saw?
+                value = self.query_value(query)
+                if abs(value - self.last_user_values[query.name]) > query.qab:
+                    self.last_user_values[query.name] = value
+                    self.metrics.record_user_notification()
+
+                if self.mode is RecomputeMode.EVERY_REFRESH:
+                    self._recompute(query)
+                    recomputed = True
+                else:
+                    plan = self.plans.get(query.name)
+                    if plan is None or not self._window_contains(query, plan):
+                        self._recompute(query)
+                        recomputed = True
         if recomputed:
             self._fanout_bound_changes(event.time)
 

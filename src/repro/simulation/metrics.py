@@ -16,7 +16,7 @@ quantised cache is in play).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 
 @dataclass
@@ -148,6 +148,20 @@ class MetricsCollector:
 
     def record_fidelity(self, query_name: str, in_bound: bool) -> None:
         self._fidelity.setdefault(query_name, QueryFidelity()).record(in_bound)
+
+    def record_fidelity_batch(self, query_names: Sequence[str],
+                              in_bound: Sequence[bool]) -> None:
+        """One sample per query, recorded in one pass — equivalent to
+        calling :meth:`record_fidelity` pairwise (the vectorized fidelity
+        sampler's hot path)."""
+        fidelity = self._fidelity
+        for name, good in zip(query_names, in_bound):
+            tracker = fidelity.get(name)
+            if tracker is None:
+                tracker = fidelity[name] = QueryFidelity()
+            tracker.observed_ticks += 1
+            if good:
+                tracker.in_bound_ticks += 1
 
     def record_tick(self) -> None:
         self._duration_ticks += 1

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
+import numpy as np
+
 from repro.exceptions import SimulationError
 from repro.dynamics.traces import TraceSet
 from repro.simulation.events import Event, EventKind, EventQueue
@@ -54,6 +56,7 @@ class SourceNode:
         metrics: MetricsCollector,
         network_delay: DelayModel,
         fault_model: Optional[FaultModel] = None,
+        vectorize: bool = False,
     ):
         self.source_id = source_id
         self.items: List[str] = list(items)
@@ -77,6 +80,34 @@ class SourceNode:
         self.seq: Dict[str, int] = {name: 0 for name in self.items}
         self._was_crashed = False
         self._uplink = f"src{source_id}->coord"
+        # Hot-loop precomputation: the heartbeat period and this source's
+        # crash windows are fixed for a run, so resolve them once here
+        # instead of per tick.
+        config = self.faults.config
+        self._heartbeat_every = (
+            int(max(1, round(config.heartbeat_interval)))
+            if self.faults.enabled and config.heartbeat_interval > 0 else 0
+        )
+        self._crash_windows = tuple(
+            w for w in config.crash_windows if w.source_id == source_id
+        ) if self.faults.enabled else ()
+        self._vectorize = bool(vectorize)
+        if self._vectorize:
+            # (ticks × items) slab, row-contiguous so each tick is one view;
+            # plus array mirrors of last_pushed/bounds for the vector compare.
+            self._slab = np.ascontiguousarray(
+                traces.values_matrix(self.items).T)
+            self._row = {name: i for i, name in enumerate(self.items)}
+            self._last_arr = self._slab[0].copy()
+            self._bounds_arr = np.full(len(self.items), np.inf)
+
+    def _crashed(self, time: float) -> bool:
+        """``faults.is_crashed(self.source_id, time)`` over the precomputed
+        per-source windows (no string/id scan per tick)."""
+        for window in self._crash_windows:
+            if window.covers(time):
+                return True
+        return False
 
     # -- network -----------------------------------------------------------------
 
@@ -118,10 +149,12 @@ class SourceNode:
                 if epoch is not None:
                     self.epochs[name] = int(epoch)
             self.bounds[name] = float(value)
+            if self._vectorize:
+                self._bounds_arr[self._row[name]] = self.bounds[name]
 
     def on_dab_change(self, event: Event) -> None:
         """A DAB-change message arrived from the coordinator."""
-        if self.faults.is_crashed(self.source_id, event.time):
+        if self._crashed(event.time):
             # Delivered to a dead node: lost.  The coordinator's ack/retry
             # machinery redelivers after recovery.
             self.metrics.record_message_dropped()
@@ -136,7 +169,7 @@ class SourceNode:
 
     def on_value_probe(self, event: Event) -> None:
         """The coordinator re-requested an item's value (lease expiry)."""
-        if self.faults.is_crashed(self.source_id, event.time):
+        if self._crashed(event.time):
             self.metrics.record_message_dropped()
             return
         name = event.payload["item"]
@@ -146,6 +179,8 @@ class SourceNode:
         tick = min(int(event.time), self.traces.duration)
         value = self.traces[name].at(tick)
         self.last_pushed[name] = value
+        if self._vectorize:
+            self._last_arr[self._row[name]] = value
         self.seq[name] += 1
         self._send(event.time, EventKind.REFRESH_ARRIVAL,
                    {"item": name, "value": value, "source_id": self.source_id,
@@ -155,23 +190,25 @@ class SourceNode:
 
     def on_tick(self, tick: int) -> None:
         """Sample traces; push refreshes for items outside their filter."""
-        faults = self.faults
-        if faults.enabled:
-            if faults.is_crashed(self.source_id, float(tick)):
+        if self.faults.enabled:
+            if self._crashed(float(tick)):
                 self._was_crashed = True
                 return
             if self._was_crashed:
                 self._was_crashed = False
                 self._resync(tick)
                 return
-            if (faults.config.heartbeat_interval > 0 and tick > 0
-                    and tick % int(max(1, round(faults.config.heartbeat_interval))) == 0):
+            if (self._heartbeat_every > 0 and tick > 0
+                    and tick % self._heartbeat_every == 0):
                 self.metrics.record_heartbeat()
                 # The beacon carries per-item refresh sequence numbers so
                 # the coordinator can tell "quiet because in-bound" apart
                 # from "quiet because my refreshes were lost".
                 self._send(float(tick), EventKind.HEARTBEAT_ARRIVAL,
                            {"source_id": self.source_id, "seqs": dict(self.seq)})
+        if self._vectorize:
+            self._on_tick_vectorized(tick)
+            return
         for name in self.items:
             value = self.traces[name].at(tick)
             bound = self.bounds.get(name)
@@ -186,6 +223,29 @@ class SourceNode:
                            {"item": name, "value": value,
                             "source_id": self.source_id, "seq": self.seq[name]})
 
+    def _on_tick_vectorized(self, tick: int) -> None:
+        """One vector compare ``|value - cached| > dab`` over the trace slab.
+
+        Items without a DAB hold ``inf`` in the bounds array, so the strict
+        ``>`` never fires for them (finite traces), exactly like the scalar
+        ``bound is None`` skip.  ``flatnonzero`` yields ascending indices, so
+        pushes happen in ``self.items`` order — the same network-RNG draw
+        order as the scalar loop.
+        """
+        values = self._slab[tick] if tick < self._slab.shape[0] else self._slab[-1]
+        crossed = np.flatnonzero(np.abs(values - self._last_arr) > self._bounds_arr)
+        if crossed.size == 0:
+            return
+        for index in crossed.tolist():
+            name = self.items[index]
+            value = float(values[index])
+            self._last_arr[index] = value
+            self.last_pushed[name] = value
+            self.seq[name] += 1
+            self._send(float(tick), EventKind.REFRESH_ARRIVAL,
+                       {"item": name, "value": value,
+                        "source_id": self.source_id, "seq": self.seq[name]})
+
     def _resync(self, tick: int) -> None:
         """First tick back after a crash: push every owned item's current
         value so the coordinator's cache stops serving crash-stale data."""
@@ -193,6 +253,8 @@ class SourceNode:
         for name in self.items:
             value = self.traces[name].at(tick)
             self.last_pushed[name] = value
+            if self._vectorize:
+                self._last_arr[self._row[name]] = value
             self.seq[name] += 1
             self._send(float(tick), EventKind.REFRESH_ARRIVAL,
                        {"item": name, "value": value, "source_id": self.source_id,

@@ -82,6 +82,68 @@ class TestCacheBehaviour:
             cache.plan(fig2_query, {"x": -2.0, "y": 2.0})
 
 
+class TestLRUEviction:
+    """Eviction order and stats accounting under eviction pressure."""
+
+    def _cache(self, unit_cost_model, max_entries):
+        inner = _CountingPlanner(OptimalRefreshPlanner(unit_cost_model))
+        return inner, QuantisingCachePlanner(inner, grid=0.02,
+                                             max_entries=max_entries)
+
+    def test_hit_refreshes_recency(self, unit_cost_model, fig2_query):
+        # A hit must move the entry to the back of the LRU queue, so the
+        # *other* entry is the eviction victim.
+        inner, cache = self._cache(unit_cost_model, max_entries=2)
+        cache.plan(fig2_query, {"x": 2.0, "y": 2.0})  # A
+        cache.plan(fig2_query, {"x": 3.0, "y": 2.0})  # B
+        cache.plan(fig2_query, {"x": 2.0, "y": 2.0})  # hit A -> B is LRU
+        cache.plan(fig2_query, {"x": 4.0, "y": 2.0})  # C evicts B, not A
+        assert inner.calls == 3
+        cache.plan(fig2_query, {"x": 2.0, "y": 2.0})  # A still cached
+        assert inner.calls == 3
+        cache.plan(fig2_query, {"x": 3.0, "y": 2.0})  # B was evicted
+        assert inner.calls == 4
+
+    def test_eviction_is_oldest_first(self, unit_cost_model, fig2_query):
+        inner, cache = self._cache(unit_cost_model, max_entries=3)
+        xs = (2.0, 3.0, 4.0, 5.0)  # distinct 2%-grid cells
+        for x in xs:
+            cache.plan(fig2_query, {"x": x, "y": 2.0})
+        # Capacity 3, four inserts: only the first entry fell off.
+        cache.plan(fig2_query, {"x": 3.0, "y": 2.0})
+        cache.plan(fig2_query, {"x": 4.0, "y": 2.0})
+        cache.plan(fig2_query, {"x": 5.0, "y": 2.0})
+        assert inner.calls == 4
+        cache.plan(fig2_query, {"x": 2.0, "y": 2.0})
+        assert inner.calls == 5
+
+    def test_size_stays_bounded(self, unit_cost_model, fig2_query):
+        _inner, cache = self._cache(unit_cost_model, max_entries=2)
+        for x in (2.0, 3.0, 4.0, 5.0, 6.0):
+            cache.plan(fig2_query, {"x": x, "y": 2.0})
+        assert len(cache._cache) == 2
+
+    def test_stats_under_eviction_pressure(self, unit_cost_model, fig2_query):
+        # Cycle through 3 cells with room for only 2: every round-robin
+        # access misses (the returning key was always just evicted), so
+        # eviction pressure shows up as a 0% hit rate, not a silent
+        # under-count of solver work.
+        inner, cache = self._cache(unit_cost_model, max_entries=2)
+        for _ in range(3):
+            for x in (2.0, 3.0, 4.0):
+                cache.plan(fig2_query, {"x": x, "y": 2.0})
+        assert inner.calls == 9
+        assert cache.stats.misses == 9
+        assert cache.stats.hits == 0
+        assert cache.stats.hit_rate == 0.0
+        # Re-touching the two resident cells is pure hits.
+        cache.plan(fig2_query, {"x": 3.0, "y": 2.0})
+        cache.plan(fig2_query, {"x": 4.0, "y": 2.0})
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 9
+        assert inner.calls == 9
+
+
 class TestSoundness:
     """The load-bearing property: cached plans re-centred on the true
     values must still satisfy Condition 1 (and the window guarantee)."""

@@ -199,3 +199,52 @@ class TestBusyServer:
         coordinator.recompute_delay = ConstantDelayModel(0.2)
         coordinator.on_refresh(refresh(1.0, "x", 3.0))
         assert coordinator.busy_until >= 1.2
+
+
+class _RecordingPlanner:
+    """Planner wrapper that records warm-start clears."""
+
+    def __init__(self, planner):
+        self.planner = planner
+        self.warm_start_clears = 0
+
+    def plan(self, query, values):
+        return self.planner.plan(query, values)
+
+    def clear_warm_starts(self):
+        self.warm_start_clears += 1
+
+
+class TestResyncWarmStartClearing:
+    def _coordinator(self):
+        from repro.simulation.faults import FaultConfig, FaultModel
+
+        query = parse_query("x*y : 5", name="cq")
+        values = {"x": 2.0, "y": 2.0}
+        model = CostModel(rates={k: 1.0 for k in values}, recompute_cost=1.0)
+        planner = _RecordingPlanner(
+            DifferentSumPlanner(model, DualDABPlanner(model)))
+        queue = EventQueue()
+        metrics = MetricsCollector(recompute_cost=1.0)
+        coordinator = Coordinator(
+            queries=[query], planner=planner,
+            mode=RecomputeMode.ON_WINDOW_VIOLATION,
+            queue=queue, metrics=metrics, initial_values=values,
+            item_to_source={"x": 0, "y": 0},
+            fault_model=FaultModel(FaultConfig(loss_rate=0.01)),
+        )
+        coordinator.attach_sources([_FakeSource(0)])
+        coordinator.initial_plan()
+        return coordinator, planner
+
+    def test_resync_refresh_clears_warm_starts(self):
+        coordinator, planner = self._coordinator()
+        coordinator.on_refresh(Event(1.0, EventKind.REFRESH_ARRIVAL,
+                                     {"item": "x", "value": 2.4,
+                                      "source_id": 0, "resync": True}))
+        assert planner.warm_start_clears == 1
+
+    def test_plain_refresh_keeps_warm_starts(self):
+        coordinator, planner = self._coordinator()
+        coordinator.on_refresh(refresh(1.0, "x", 2.4))
+        assert planner.warm_start_clears == 0

@@ -122,3 +122,47 @@ class TestParser:
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["figures", "fig99"])
+
+
+def _strip_timings(text):
+    """Drop wall-clock readouts and the echoed jobs count, which
+    legitimately vary between otherwise-identical runs."""
+    import re
+    return re.sub(r"jobs=\S+", "jobs=<n>",
+                  re.sub(r"\d+\.\d+s", "<time>", text))
+
+
+class TestPerfFlags:
+    SMALL = ["simulate", "--queries", "2", "--items", "16",
+             "--duration", "60", "--sources", "3",
+             "--fidelity-interval", "5"]
+
+    def test_no_vectorize_matches_default(self, capsys):
+        assert main(self.SMALL) == 0
+        vectorized = capsys.readouterr().out
+        assert main(self.SMALL + ["--no-vectorize"]) == 0
+        scalar = capsys.readouterr().out
+        assert _strip_timings(vectorized) == _strip_timings(scalar)
+
+    def test_seed_sweep(self, capsys):
+        code = main(self.SMALL + ["--runs", "3", "--jobs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Seed sweep" in out
+        assert out.count("\n  ") >= 3 or len(out.strip().splitlines()) >= 4
+
+    def test_seed_sweep_serial_matches_parallel(self, capsys):
+        main(self.SMALL + ["--runs", "2"])
+        serial = capsys.readouterr().out
+        main(self.SMALL + ["--runs", "2", "--jobs", "2"])
+        parallel = capsys.readouterr().out
+        assert _strip_timings(serial) == _strip_timings(parallel)
+
+    def test_profile_writes_stats_file(self, tmp_path, capsys):
+        target = tmp_path / "run.pstats"
+        code = main(["--profile", str(target)] + self.SMALL)
+        assert code == 0
+        captured = capsys.readouterr()
+        assert target.exists() and target.stat().st_size > 0
+        assert "profile written" in captured.err
+        assert "cumulative" in captured.err
