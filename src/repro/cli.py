@@ -1,11 +1,21 @@
 """Command-line interface.
 
-Four subcommands mirror the library's workflow::
+Seven subcommands mirror the library's workflow::
 
     repro plan "x*y : 5" --values x=2,y=2 --rates x=1,y=1 --mu 5
     repro simulate --queries 10 --items 30 --duration 300 --algorithm dual_dab
     repro figures fig5 --queries 5,10 --items 30 --trace-length 201
     repro traces --items 3 --length 10 --kind gbm
+    repro serve --queries 100 --items 40 --sources 8 --port 7410
+    repro agent --source-id 0 --port 7410 --duration 300
+    repro loadgen --sources 8 --queries 100 --duration 30
+
+``serve``/``agent``/``loadgen`` are the live service layer (DESIGN.md §9):
+the server and its peers must be launched with the same
+``--queries/--items/--sources/--seed/--workload/--trace-length`` so both
+sides derive the same deterministic scenario.  ``loadgen`` probes the
+default server address and falls back to a fully in-process run over the
+loopback transport when nothing is listening.
 
 ``python -m repro ...`` works identically.  Every command prints plain
 text; exit code 0 on success, 2 on argument errors (argparse convention).
@@ -252,6 +262,156 @@ def cmd_traces(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# serve / agent / loadgen — the live service layer
+# ---------------------------------------------------------------------------
+
+DEFAULT_SERVICE_PORT = 7410
+
+
+def _service_trace_length(args: argparse.Namespace) -> int:
+    """Long enough for both rate estimation and the requested replay."""
+    wanted = getattr(args, "duration", 0) + 2
+    return max(args.trace_length, wanted)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.server import build_scenario_server
+
+    server, scenario, item_to_source = build_scenario_server(
+        query_count=args.queries, item_count=args.items,
+        source_count=args.sources, trace_length=args.trace_length,
+        seed=args.seed, algorithm=args.algorithm, recompute_cost=args.mu,
+        workload=args.workload,
+    )
+
+    async def _serve() -> None:
+        host, port = await server.serve_tcp(args.host, args.port)
+        print(f"coordinator listening on {host}:{port} "
+              f"({len(scenario.queries)} queries, {len(item_to_source)} items, "
+              f"{args.sources} sources, algorithm={args.algorithm})",
+              flush=True)
+        try:
+            await asyncio.Event().wait()     # serve until interrupted
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        stats = server.server_stats()
+        print(f"\nshutting down: {stats['refreshes']} refreshes, "
+              f"{stats['recomputations']} recomputations, "
+              f"{stats['notifies_sent']} notifies")
+    return 0
+
+
+def cmd_agent(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.agent import agents_for_scenario
+    from repro.simulation.source import assign_items_to_sources
+    from repro.workloads import scaled_scenario
+
+    trace_length = _service_trace_length(args)
+    scenario = scaled_scenario(
+        query_count=args.queries, item_count=args.items,
+        trace_length=trace_length, source_count=args.sources,
+        query_kind=args.workload, seed=args.seed,
+    )
+    used = sorted({v for q in scenario.queries for v in q.variables})
+    item_to_source = assign_items_to_sources(used, args.sources)
+    agents = agents_for_scenario(scenario, item_to_source,
+                                 timestamp_refreshes=True,
+                                 heartbeat_interval=args.heartbeat_interval)
+    if args.source_id is not None:
+        try:
+            agents = {args.source_id: agents[args.source_id]}
+        except KeyError:
+            raise SystemExit(f"error: no items route to source {args.source_id} "
+                             f"(have {sorted(agents)})")
+
+    async def _run_all() -> int:
+        results = await asyncio.gather(*[
+            agent.run(args.host, args.port, scenario.traces,
+                      tick_interval=args.tick_interval,
+                      max_steps=args.duration)
+            for agent in agents.values()
+        ])
+        return sum(results)
+
+    sent = asyncio.run(_run_all())
+    for source_id, agent in sorted(agents.items()):
+        s = agent.stats
+        print(f"source {source_id}: {s['ticks']} ticks, "
+              f"{s['refreshes_sent']} refreshes sent, "
+              f"{s['refreshes_filtered']} filtered, "
+              f"{s['reconnects']} reconnects")
+    print(f"total refreshes pushed: {sent}")
+    return 0
+
+
+def _probe_tcp(host: str, port: int, timeout: float = 0.5) -> bool:
+    import socket
+
+    try:
+        with socket.create_connection((host, port), timeout=timeout):
+            return True
+    except OSError:
+        return False
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.service.loadgen import run_loadgen
+
+    host: Optional[str] = None
+    port: Optional[int] = None
+    if args.connect:
+        host, _, port_text = args.connect.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise SystemExit(f"error: --connect expects HOST:PORT, "
+                             f"got {args.connect!r}")
+        host = host or "127.0.0.1"
+    elif not args.in_process and _probe_tcp("127.0.0.1", DEFAULT_SERVICE_PORT):
+        host, port = "127.0.0.1", DEFAULT_SERVICE_PORT
+
+    report = run_loadgen(
+        sources=args.sources, queries=args.queries, items=args.items,
+        duration=args.duration, subscribers=args.subscribers,
+        tick_interval=args.tick_interval, seed=args.seed,
+        algorithm=args.algorithm, workload=args.workload,
+        host=host, port=port, output=args.output or None,
+        trace_length=args.trace_length,
+    )
+    print(f"transport            {report['transport']}")
+    print(f"sources x subs       {report['sources']} x {report['subscribers']}")
+    print(f"queries / items      {report['queries']} / {report['items']}")
+    print(f"ticks                {report['ticks']} "
+          f"({report['ticks_per_second']:.0f}/s)")
+    print(f"refreshes sent       {report['refreshes_sent']} "
+          f"(filtered {report['refreshes_filtered']})")
+    print(f"notifies received    {report['notifies_received']}")
+    latency = report["notify_latency_seconds"]
+    if latency:
+        rendered = ", ".join(f"{k}={v * 1000:.2f}ms"
+                             for k, v in sorted(latency.items()))
+        print(f"notify latency       {rendered} "
+              f"({report['latency_samples']} samples)")
+    stats = report.get("server_stats") or {}
+    if stats:
+        print(f"server               {stats.get('recomputations', '?')} "
+              f"recomputations, {stats.get('refreshes', '?')} refreshes, "
+              f"{stats.get('slow_consumer_evictions', 0)} evictions")
+    print(f"QAB violations       {report['qab_violations']}")
+    if report.get("output"):
+        print(f"report written to    {report['output']}")
+    return 1 if report["qab_violations"] else 0
+
+
+# ---------------------------------------------------------------------------
 # parser wiring
 # ---------------------------------------------------------------------------
 
@@ -362,6 +522,70 @@ def build_parser() -> argparse.ArgumentParser:
                         default="gbm")
     traces.add_argument("--seed", type=int, default=0)
     traces.set_defaults(func=cmd_traces)
+
+    def _scenario_flags(command: argparse.ArgumentParser) -> None:
+        """The deterministic-scenario knobs every service peer must agree on."""
+        command.add_argument("--queries", type=int, default=100)
+        command.add_argument("--items", type=int, default=40)
+        command.add_argument("--sources", type=int, default=8)
+        command.add_argument("--seed", type=int, default=0)
+        command.add_argument("--workload", choices=["portfolio", "arbitrage"],
+                             default="portfolio")
+        command.add_argument("--algorithm", default="dual_dab",
+                             choices=["optimal_refresh", "dual_dab",
+                                      "half_and_half", "different_sum",
+                                      "signomial", "sharfman_baseline",
+                                      "uniform_baseline", "laq"])
+        command.add_argument("--trace-length", type=int, default=301,
+                             help="scenario trace length (rate estimation "
+                                  "window; grown automatically to cover "
+                                  "--duration where applicable)")
+
+    serve = sub.add_parser("serve",
+                           help="run the live asyncio coordinator server")
+    _scenario_flags(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=DEFAULT_SERVICE_PORT)
+    serve.add_argument("--mu", type=float, default=5.0,
+                       help="recomputation cost in messages")
+    serve.set_defaults(func=cmd_serve)
+
+    agent = sub.add_parser("agent",
+                           help="run source agent(s) replaying traces "
+                                "against a live coordinator")
+    _scenario_flags(agent)
+    agent.add_argument("--host", default="127.0.0.1")
+    agent.add_argument("--port", type=int, default=DEFAULT_SERVICE_PORT)
+    agent.add_argument("--source-id", type=int, default=None,
+                       help="run only this source (default: all of them "
+                            "in one process)")
+    agent.add_argument("--duration", type=int, default=300,
+                       help="trace steps to replay")
+    agent.add_argument("--tick-interval", type=float, default=0.0,
+                       help="seconds to sleep between trace steps")
+    agent.add_argument("--heartbeat-interval", type=float, default=None,
+                       help="send HEARTBEAT every this many seconds")
+    agent.set_defaults(func=cmd_agent)
+
+    loadgen = sub.add_parser("loadgen",
+                             help="drive N sources x M subscribers and "
+                                  "audit QAB compliance")
+    _scenario_flags(loadgen)
+    loadgen.add_argument("--duration", type=int, default=30,
+                         help="trace steps each source replays")
+    loadgen.add_argument("--subscribers", type=int, default=4)
+    loadgen.add_argument("--tick-interval", type=float, default=0.0)
+    loadgen.add_argument("--connect", default=None, metavar="HOST:PORT",
+                         help="drive a live coordinator over TCP (default: "
+                              "probe 127.0.0.1:%d, else run in process)"
+                              % DEFAULT_SERVICE_PORT)
+    loadgen.add_argument("--in-process", action="store_true",
+                         help="skip the TCP probe; always run the loopback "
+                              "server in process")
+    loadgen.add_argument("--output",
+                         default="benchmarks/results/BENCH_service.json",
+                         help="write the JSON report here ('' to skip)")
+    loadgen.set_defaults(func=cmd_loadgen)
 
     return parser
 

@@ -1,0 +1,77 @@
+"""Live service layer: the paper's architecture over real sockets.
+
+The discrete-event simulator proves the planning algorithms; this package
+*deploys* them.  It contains:
+
+* :mod:`repro.service.core` — :class:`~repro.service.core.CoordinatorCore`,
+  the protocol-agnostic planning/recomputation state machine shared with
+  the simulator's coordinator (which is now a thin event-loop adapter
+  over it);
+* :mod:`repro.service.protocol` — the framed, versioned wire protocol
+  (length-prefixed JSON messages);
+* :mod:`repro.service.transports` — asyncio byte-stream plumbing plus an
+  in-process loopback transport so tests run without sockets;
+* :mod:`repro.service.server` — the asyncio
+  :class:`~repro.service.server.CoordinatorServer`;
+* :mod:`repro.service.agent` — the :class:`~repro.service.agent.SourceAgent`
+  push source (trace replay or programmatic ticks, local primary-DAB
+  filtering, reconnect-with-resync);
+* :mod:`repro.service.client` — the
+  :class:`~repro.service.client.ServiceClient` subscriber SDK;
+* :mod:`repro.service.loadgen` — the N-sources × M-subscribers load
+  generator behind ``repro loadgen``.
+
+Only ``core`` and ``protocol`` are imported eagerly: the simulator imports
+:class:`CoordinatorCore` from here, and the asyncio modules import the
+simulator (for planners and metrics), so the heavier modules load lazily
+to keep the import graph acyclic.
+"""
+
+from __future__ import annotations
+
+from repro.service.core import CoordinatorCore, RecomputeMode
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    MessageType,
+    ProtocolError,
+    encode_frame,
+)
+
+__all__ = [
+    "CoordinatorCore",
+    "RecomputeMode",
+    "FrameDecoder",
+    "MessageType",
+    "ProtocolError",
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    # lazily loaded:
+    "CoordinatorServer",
+    "SourceAgent",
+    "ServiceClient",
+    "run_loadgen",
+    "loopback_pair",
+    "MessageStream",
+]
+
+_LAZY = {
+    "CoordinatorServer": ("repro.service.server", "CoordinatorServer"),
+    "SourceAgent": ("repro.service.agent", "SourceAgent"),
+    "ServiceClient": ("repro.service.client", "ServiceClient"),
+    "run_loadgen": ("repro.service.loadgen", "run_loadgen"),
+    "loopback_pair": ("repro.service.transports", "loopback_pair"),
+    "MessageStream": ("repro.service.transports", "MessageStream"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)

@@ -1,0 +1,276 @@
+"""The live source: trace replay (or programmatic ticks) behind a DAB filter.
+
+A :class:`SourceAgent` is the deployed counterpart of the simulator's
+``SourceNode``: it owns a set of items, watches their values change, and
+pushes a ``REFRESH`` upstream only when a value escapes the primary DAB
+window the coordinator programmed — the paper's source-side filtering,
+which is where all the bandwidth savings come from.
+
+Semantics carried over from the simulator (and its fault suite):
+
+* **per-item monotone DAB epochs** — a ``DAB_UPDATE`` is applied per item
+  only if its epoch is newer than the one held, so duplicated or
+  reordered bound messages are idempotent (``SourceNode.set_bounds``);
+* **per-item refresh seq numbers** — every refresh carries a
+  monotonically increasing ``seq`` so the coordinator can reject
+  duplicates and detect gaps from heartbeats;
+* **reconnect-with-resync** — after a connection drop the agent
+  re-registers, the coordinator re-programs its current bounds in the
+  registration reply, and the agent marks its next refresh per item
+  ``resync=True`` so the coordinator drops stale warm-starts.
+
+The agent is transport-agnostic: ``run`` drives a real TCP connection,
+``run_on_stream`` drives any :class:`MessageStream` (loopback included).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time as _time
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
+
+from repro.service import protocol
+from repro.service.protocol import MessageType, ProtocolError
+from repro.service.transports import MessageStream, TransportClosed, open_tcp_stream
+
+
+class SourceAgent:
+    """Replay item ticks, filter through primary DABs, push refreshes."""
+
+    def __init__(
+        self,
+        source_id: int,
+        items: Iterable[str],
+        initial_values: Mapping[str, float],
+        heartbeat_interval: Optional[float] = None,
+        timestamp_refreshes: bool = False,
+        clock: Callable[[], float] = _time.time,
+    ):
+        self.source_id = int(source_id)
+        self.items: List[str] = sorted(items)
+        missing = [name for name in self.items if name not in initial_values]
+        if missing:
+            raise ProtocolError(
+                f"source {source_id} has no initial value for: "
+                f"{', '.join(missing)}")
+        #: the agent's live view of each item (updated by every tick).
+        self.values: Dict[str, float] = {name: float(initial_values[name])
+                                         for name in self.items}
+        #: last value actually *sent* upstream — the DAB window's centre.
+        self.sent_values: Dict[str, float] = dict(self.values)
+        self.bounds: Dict[str, float] = {}
+        self.epochs: Dict[str, int] = {}
+        self.seq: Dict[str, int] = {name: 0 for name in self.items}
+        self.heartbeat_interval = heartbeat_interval
+        self.timestamp_refreshes = timestamp_refreshes
+        self.clock = clock
+        self._resync_pending: set = set()
+        self.stats = {
+            "ticks": 0,
+            "refreshes_sent": 0,
+            "refreshes_filtered": 0,
+            "dab_updates_applied": 0,
+            "dab_updates_rejected_stale_epoch": 0,
+            "reconnects": 0,
+            "heartbeats_sent": 0,
+        }
+        self._stream: Optional[MessageStream] = None
+        self._listener: Optional[asyncio.Task] = None
+        self._heartbeat_task: Optional[asyncio.Task] = None
+
+    # -- DAB handling (mirrors SourceNode.set_bounds) -----------------------------
+
+    def apply_dab_update(self, bounds: Mapping[str, float],
+                         epochs: Mapping[str, Any]) -> None:
+        """Adopt new primary DABs, item by item, newest epoch wins."""
+        for name, bound in bounds.items():
+            if name not in self.values:
+                continue        # misrouted — not ours to filter
+            epoch = int(epochs.get(name, 0))
+            if epoch <= self.epochs.get(name, -1):
+                self.stats["dab_updates_rejected_stale_epoch"] += 1
+                continue
+            self.epochs[name] = epoch
+            self.bounds[name] = float(bound)
+            self.stats["dab_updates_applied"] += 1
+
+    def _violates(self, item: str) -> bool:
+        bound = self.bounds.get(item)
+        if bound is None:
+            # No bound programmed yet: forward everything (fail-safe —
+            # never silently *suppress* data the coordinator may need).
+            return True
+        return abs(self.values[item] - self.sent_values[item]) > bound
+
+    # -- ticking ------------------------------------------------------------------
+
+    def pending_refreshes(self, updates: Mapping[str, float]
+                          ) -> List[Dict[str, Any]]:
+        """Apply ``updates`` locally; return the REFRESH messages to send.
+
+        This is the pure (transport-free) half of a tick, so tests can
+        exercise the filter without any I/O.
+        """
+        messages: List[Dict[str, Any]] = []
+        for item, value in updates.items():
+            if item not in self.values:
+                continue
+            self.values[item] = float(value)
+            self.stats["ticks"] += 1
+            if not self._violates(item):
+                self.stats["refreshes_filtered"] += 1
+                continue
+            self.seq[item] += 1
+            self.sent_values[item] = self.values[item]
+            messages.append(protocol.refresh(
+                self.source_id, item, self.values[item], self.seq[item],
+                resync=item in self._resync_pending,
+                sent_at=self.clock() if self.timestamp_refreshes else None,
+            ))
+            self._resync_pending.discard(item)
+            self.stats["refreshes_sent"] += 1
+        return messages
+
+    async def tick(self, updates: Mapping[str, float]) -> int:
+        """Programmatic tick: new values in, filtered refreshes out.
+
+        Returns how many refreshes were actually pushed upstream."""
+        messages = self.pending_refreshes(updates)
+        stream = self._stream
+        if messages and stream is None:
+            raise TransportClosed(
+                f"source {self.source_id} ticked while disconnected")
+        for message in messages:
+            await stream.send(message)
+        return len(messages)
+
+    # -- connection lifecycle -------------------------------------------------------
+
+    async def connect(self, stream: MessageStream) -> None:
+        """Register on ``stream`` and start applying inbound DAB updates."""
+        if self._stream is not None:
+            self.stats["reconnects"] += 1
+            self._resync_pending = set(self.items)
+            await self._stop_background()
+            self._stream.close()
+        self._stream = stream
+        await stream.send(protocol.register_source(self.source_id, self.items))
+        self._listener = asyncio.ensure_future(self._listen(stream))
+        if self.heartbeat_interval:
+            self._heartbeat_task = asyncio.ensure_future(self._heartbeats())
+
+    async def _listen(self, stream: MessageStream) -> None:
+        try:
+            while True:
+                message = await stream.receive()
+                if message is None:
+                    return
+                try:
+                    kind = protocol.validate_message(message)
+                except ProtocolError:
+                    return
+                if kind is MessageType.DAB_UPDATE:
+                    self.apply_dab_update(message["bounds"], message["epochs"])
+                elif kind is MessageType.ERROR:
+                    return
+        except (ProtocolError, asyncio.CancelledError):
+            return
+
+    async def _heartbeats(self) -> None:
+        try:
+            while True:
+                await asyncio.sleep(self.heartbeat_interval)
+                if self._stream is None:
+                    return
+                await self._stream.send(
+                    protocol.heartbeat(self.source_id, self.seq))
+                self.stats["heartbeats_sent"] += 1
+        except (TransportClosed, asyncio.CancelledError):
+            return
+
+    async def _stop_background(self) -> None:
+        for task in (self._listener, self._heartbeat_task):
+            if task is not None and not task.done():
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        self._listener = None
+        self._heartbeat_task = None
+
+    async def close(self) -> None:
+        await self._stop_background()
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    # -- trace replay ----------------------------------------------------------------
+
+    async def replay(
+        self,
+        traces: "Any",
+        tick_interval: float = 0.0,
+        start_step: int = 1,
+        max_steps: Optional[int] = None,
+        reconnect: Optional[Callable[[], "Any"]] = None,
+    ) -> int:
+        """Replay a :class:`~repro.dynamics.traces.TraceSet` through the
+        filter; returns the number of refreshes pushed.
+
+        ``reconnect``, if given, is an async factory returning a fresh
+        connected :class:`MessageStream`; on a transport drop mid-replay
+        the agent reconnects through it (re-registering, resyncing) and
+        resumes from the step that failed.
+        """
+        lengths = [len(traces[item]) for item in self.items]
+        last = min(lengths) if lengths else 0
+        if max_steps is not None:
+            last = min(last, start_step + max_steps)
+        sent = 0
+        step = start_step
+        while step < last:
+            updates = {item: traces[item].at(step) for item in self.items}
+            try:
+                sent += await self.tick(updates)
+            except TransportClosed:
+                if reconnect is None:
+                    raise
+                await self.connect(await reconnect())
+                continue            # retry the same step after resync
+            step += 1
+            if tick_interval:
+                await asyncio.sleep(tick_interval)
+        return sent
+
+    async def run(self, host: str, port: int, traces: "Any",
+                  tick_interval: float = 0.0,
+                  max_steps: Optional[int] = None) -> int:
+        """Connect over TCP, replay, and close — the ``repro agent`` body."""
+        async def _dial() -> MessageStream:
+            return await open_tcp_stream(host, port)
+
+        await self.connect(await _dial())
+        try:
+            return await self.replay(traces, tick_interval=tick_interval,
+                                     max_steps=max_steps, reconnect=_dial)
+        finally:
+            await self.close()
+
+
+def agents_for_scenario(scenario: "Any", item_to_source: Mapping[str, int],
+                        timestamp_refreshes: bool = False,
+                        heartbeat_interval: Optional[float] = None,
+                        ) -> Dict[int, SourceAgent]:
+    """One agent per source id, owning exactly the items the coordinator
+    routes to it (same round-robin assignment on both sides)."""
+    initial = scenario.traces.initial_values()
+    owned: Dict[int, List[str]] = {}
+    for item, source_id in item_to_source.items():
+        owned.setdefault(source_id, []).append(item)
+    return {
+        source_id: SourceAgent(source_id, items, initial,
+                               timestamp_refreshes=timestamp_refreshes,
+                               heartbeat_interval=heartbeat_interval)
+        for source_id, items in sorted(owned.items())
+    }

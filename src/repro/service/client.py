@@ -1,0 +1,125 @@
+"""Subscriber SDK for the live coordinator.
+
+A :class:`ServiceClient` subscribes to query-result notifications,
+maintains the latest value per query, and records per-notification
+latency samples (server send time → client receive time, plus the
+end-to-end refresh → notify path when the triggering refresh was
+timestamped).  It works over any :class:`MessageStream` — TCP or the
+in-process loopback.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time as _time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.service import protocol
+from repro.service.protocol import MessageType, ProtocolError
+from repro.service.transports import MessageStream, open_tcp_stream
+
+
+class ServiceClient:
+    """Track live query values pushed by a :class:`CoordinatorServer`."""
+
+    def __init__(self, stream: MessageStream,
+                 clock: Callable[[], float] = _time.time):
+        self.stream = stream
+        self.clock = clock
+        #: latest value per subscribed query (snapshot + notifies).
+        self.values: Dict[str, float] = {}
+        self.notifies_received = 0
+        self.updates_received = 0
+        #: end-to-end latency samples in seconds (refresh sent → notify
+        #: received); only populated when sources timestamp refreshes.
+        self.latencies: List[float] = []
+        self._listener: Optional[asyncio.Task] = None
+        self._snapshot_waiters: "List[asyncio.Future]" = []
+        self.stats_seen: Dict[str, Any] = {}
+
+    @classmethod
+    async def connect_tcp(cls, host: str, port: int) -> "ServiceClient":
+        return cls(await open_tcp_stream(host, port))
+
+    async def subscribe(self, queries: object = "*") -> Dict[str, float]:
+        """Send QUERY_SUB, start listening, return the initial snapshot."""
+        loop = asyncio.get_event_loop()
+        waiter: asyncio.Future = loop.create_future()
+        self._snapshot_waiters.append(waiter)
+        await self.stream.send(protocol.query_sub(queries))
+        self._listener = asyncio.ensure_future(self._listen())
+        return await waiter
+
+    async def request_snapshot(self) -> Dict[str, float]:
+        """Ask for (and wait for) a fresh authoritative snapshot."""
+        loop = asyncio.get_event_loop()
+        waiter: asyncio.Future = loop.create_future()
+        self._snapshot_waiters.append(waiter)
+        await self.stream.send(protocol.snapshot())
+        return await waiter
+
+    async def _listen(self) -> None:
+        try:
+            while True:
+                message = await self.stream.receive()
+                if message is None:
+                    break
+                try:
+                    kind = protocol.validate_message(message)
+                except ProtocolError:
+                    break
+                if kind is MessageType.NOTIFY:
+                    self._on_notify(message)
+                elif kind is MessageType.SNAPSHOT:
+                    self._on_snapshot(message)
+                elif kind is MessageType.ERROR:
+                    break
+        except (ProtocolError, asyncio.CancelledError):
+            pass
+        finally:
+            for waiter in self._snapshot_waiters:
+                if not waiter.done():
+                    waiter.set_exception(
+                        ProtocolError("connection closed before snapshot"))
+            self._snapshot_waiters.clear()
+
+    def _on_notify(self, message: Dict[str, Any]) -> None:
+        self.notifies_received += 1
+        for update in message["updates"]:
+            self.values[update["query"]] = float(update["value"])
+            self.updates_received += 1
+        origin = message.get("refresh_sent_at")
+        if origin is not None:
+            self.latencies.append(max(0.0, self.clock() - float(origin)))
+
+    def _on_snapshot(self, message: Dict[str, Any]) -> None:
+        values = message.get("values") or {}
+        self.values.update({name: float(v) for name, v in values.items()})
+        self.stats_seen = message.get("stats") or {}
+        if self._snapshot_waiters:
+            waiter = self._snapshot_waiters.pop(0)
+            if not waiter.done():
+                waiter.set_result(dict(values))
+
+    async def close(self) -> None:
+        self.stream.close()
+        if self._listener is not None and not self._listener.done():
+            try:
+                await asyncio.wait_for(self._listener, timeout=1.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                self._listener.cancel()
+
+
+def latency_percentiles(samples: Sequence[float],
+                        percentiles: Sequence[float] = (50.0, 95.0, 99.0),
+                        ) -> Dict[str, float]:
+    """``{"p50": ..., "p95": ..., ...}`` (empty input → empty dict)."""
+    if not samples:
+        return {}
+    ordered = sorted(samples)
+    out: Dict[str, float] = {}
+    for p in percentiles:
+        rank = min(len(ordered) - 1,
+                   max(0, int(round(p / 100.0 * (len(ordered) - 1)))))
+        out[f"p{p:g}"] = ordered[rank]
+    return out

@@ -1,0 +1,474 @@
+"""The protocol-agnostic coordinator core.
+
+Everything a coordinator does that does not touch a transport lives here:
+the item-value cache, query evaluation (scalar or through the compiled
+:class:`~repro.queries.compiled.CompiledQueryBank`), secondary-DAB window
+checks, recomputation through the planner stack (with GP-solver failure
+degradation), per-item DAB epochs, and the merged-bound diffing that
+decides which sources must be told about a plan change.
+
+Two runtimes share this class verbatim:
+
+* the discrete-event simulator's
+  :class:`~repro.simulation.coordinator.Coordinator`, which wraps it in an
+  event-loop adapter (busy-server modelling, Pareto delays, fault
+  injection, staleness leases), and
+* the live :class:`~repro.service.server.CoordinatorServer`, which wraps
+  it in an asyncio socket server speaking the framed wire protocol of
+  :mod:`repro.service.protocol`.
+
+Because both adapters call the exact same code in the exact same order,
+the simulator's golden-metric tests double as a correctness pin for the
+live service's planning and recomputation behaviour (DESIGN.md §9).
+
+This module must not import :mod:`repro.simulation` — the dependency runs
+the other way.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.exceptions import GPError, SimulationError
+from repro.filters.assignment import DABAssignment, merge_primary
+from repro.queries.compiled import (
+    CompiledPolynomial,
+    CompiledQueryBank,
+    PowerTable,
+)
+from repro.queries.polynomial import PolynomialQuery
+
+#: Relative change below which a DAB update is not worth a message.
+_DAB_CHANGE_REL_TOL = 1e-9
+
+#: One source's pending update: ``(bounds, epochs)`` keyed by item name.
+BoundUpdate = Tuple[Dict[str, float], Dict[str, int]]
+
+
+class RecomputeMode(enum.Enum):
+    EVERY_REFRESH = "every_refresh"
+    ON_WINDOW_VIOLATION = "on_window_violation"
+    AAO_PERIODIC = "aao_periodic"
+
+
+class CoordinatorCore:
+    """Transport-free coordinator state machine.
+
+    The adapter owning the core drives it through four entry points:
+
+    * :meth:`bootstrap` — plan every query at the initial values and
+      return the merged primary DABs for the sources;
+    * :meth:`apply_refresh` — an accepted refresh lands in the cache;
+    * :meth:`react_to_refresh` — notify/recompute per the configured
+      :class:`RecomputeMode`, returning the user notifications and
+      whether any plan changed;
+    * :meth:`changed_bound_updates` — the per-source DAB updates (with
+      fresh epochs) that the adapter must deliver.
+
+    ``recompute_hook``, when set, is invoked once per recomputation *in
+    recomputation order* — the simulator uses it to charge solver time to
+    its busy-server clock without the core knowing about clocks.
+    """
+
+    def __init__(
+        self,
+        queries: Sequence[PolynomialQuery],
+        planner: object,
+        mode: RecomputeMode,
+        metrics: object,
+        initial_values: Mapping[str, float],
+        item_to_source: Mapping[str, int],
+        aao_planner: Optional[object] = None,
+        aao_period: Optional[int] = None,
+        vectorize: bool = False,
+        recompute_hook: Optional[Callable[[], None]] = None,
+    ):
+        if not queries:
+            raise SimulationError("a coordinator needs at least one query")
+        names = [q.name for q in queries]
+        if len(set(names)) != len(names):
+            raise SimulationError("query names must be unique at a coordinator")
+        if mode is RecomputeMode.AAO_PERIODIC:
+            if aao_planner is None or aao_period is None or aao_period < 1:
+                raise SimulationError(
+                    "AAO_PERIODIC mode needs an aao_planner and a period >= 1"
+                )
+
+        self.queries = list(queries)
+        self.planner = planner
+        self.mode = mode
+        self.metrics = metrics
+        self.aao_planner = aao_planner
+        self.aao_period = aao_period
+        self.item_to_source = dict(item_to_source)
+        self.recompute_hook = recompute_hook
+
+        self.cache: Dict[str, float] = {
+            name: float(initial_values[name])
+            for q in self.queries for name in q.variables
+        }
+        self.plans: Dict[str, DABAssignment] = {}
+        self.last_user_values: Dict[str, float] = {}
+        self._last_sent_bounds: Dict[str, float] = {}
+
+        # -- vectorized fast path (bitwise-equal to the scalar one) -----------
+        self._vectorize = bool(vectorize)
+        self._compiled: Dict[str, CompiledPolynomial] = {}
+        self._power_table: Optional[PowerTable] = None
+        self._power_vector: Optional[np.ndarray] = None
+        self._bank: Optional[CompiledQueryBank] = None
+        self._bank_index: Dict[str, int] = {}
+        #: query name -> mutable [plan, missing_ref, breach_count, flags,
+        #: references, widened]; maintained incrementally as items refresh,
+        #: rebuilt whenever the query's plan object changes.
+        self._window_state: Dict[str, list] = {}
+        if self._vectorize:
+            self._power_table = PowerTable()
+            for query in self.queries:
+                self._compiled[query.name] = CompiledPolynomial(
+                    query, self._power_table)
+            self._power_vector = self._power_table.vector(self.cache)
+            self._bank = CompiledQueryBank(
+                [self._compiled[query.name] for query in self.queries])
+            self._bank_index = {query.name: i
+                                for i, query in enumerate(self.queries)}
+
+        self.item_index: Dict[str, List[PolynomialQuery]] = {}
+        for query in self.queries:
+            for name in query.variables:
+                self.item_index.setdefault(name, []).append(query)
+
+        #: Vectorized notification state: per-query QABs and the last
+        #: user-visible values mirrored as arrays (bank order), plus each
+        #: item's affected-query indices, so one masked compare replaces the
+        #: per-query notification loop in ``react_to_refresh``.
+        self._qab_arr: Optional[np.ndarray] = None
+        self._last_user_arr: Optional[np.ndarray] = None
+        self._affected_idx: Dict[str, np.ndarray] = {}
+        self._item_banks: Dict[str, CompiledQueryBank] = {}
+        if self._vectorize:
+            self._qab_arr = np.array([q.qab for q in self.queries], dtype=float)
+            self._last_user_arr = np.zeros(len(self.queries))
+            self._affected_idx = {
+                name: np.array([self._bank_index[q.name] for q in affected],
+                               dtype=np.intp)
+                for name, affected in self.item_index.items()
+            }
+            # Per-item sub-banks: a refresh of one item only needs the
+            # values of the queries containing it, so evaluating a bank
+            # restricted to those rows does strictly less work than the
+            # full bank while producing bitwise-identical per-query sums.
+            self._item_banks = {
+                name: CompiledQueryBank(
+                    [self._compiled[q.name] for q in affected])
+                for name, affected in self.item_index.items()
+            }
+
+        #: Per-item monotone DAB epoch (incremented on every shipped change).
+        self.epochs: Dict[str, int] = {}
+
+    # -- bootstrap --------------------------------------------------------------------
+
+    def bootstrap(self) -> Dict[str, float]:
+        """Plan every query at the initial values; return the merged primary
+        DABs the adapter should seed the sources with (time-zero
+        configuration is assumed in place when the observation window
+        starts)."""
+        if self.mode is RecomputeMode.AAO_PERIODIC:
+            multi = self.aao_planner.plan_all(self.queries, self.cache)
+            self.plans = dict(multi.per_query)
+        else:
+            for query in self.queries:
+                self.plans[query.name] = self._plan_query(query)
+        for index, query in enumerate(self.queries):
+            value = self.query_value(query)
+            self.last_user_values[query.name] = value
+            if self._last_user_arr is not None:
+                self._last_user_arr[index] = value
+        merged = merge_primary(self.plans.values())
+        self._last_sent_bounds = dict(merged)
+        return merged
+
+    def owned_bounds(self, merged: Mapping[str, float],
+                     source_id: int) -> Dict[str, float]:
+        """The subset of ``merged`` owned by ``source_id``."""
+        return {name: bound for name, bound in merged.items()
+                if self.item_to_source.get(name) == source_id}
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _values_for(self, query: PolynomialQuery) -> Dict[str, float]:
+        return {name: self.cache[name] for name in query.variables}
+
+    @property
+    def power_table(self) -> PowerTable:
+        """The shared (item, exponent) slot registry (vectorized runs only)."""
+        if self._power_table is None:
+            raise SimulationError("coordinator was built with vectorize=False")
+        return self._power_table
+
+    def compiled_query(self, query: PolynomialQuery) -> CompiledPolynomial:
+        """The compiled evaluator for ``query`` (vectorized runs only)."""
+        return self._compiled[query.name]
+
+    def query_value(self, query: PolynomialQuery) -> float:
+        if self._vectorize:
+            return self._compiled[query.name].evaluate_vector(self._power_vector)
+        return query.evaluate(self.cache)
+
+    def query_values(self) -> List[float]:
+        """Every query's value at the current cache, in ``queries`` order —
+        one banked evaluation on vectorized runs."""
+        if self._vectorize:
+            return self._bank.values_vector(self._power_vector).tolist()
+        return [query.evaluate(self.cache) for query in self.queries]
+
+    def query_values_array(self) -> np.ndarray:
+        """Array form of :meth:`query_values` (vectorized runs only)."""
+        return self._bank.values_vector(self._power_vector)
+
+    def _window_contains(self, query: PolynomialQuery, plan: DABAssignment,
+                         changed_item: Optional[str] = None) -> bool:
+        """``plan.window_contains(self._values_for(query))``, incremental.
+
+        The breach predicate per item — ``|value - ref| > secondary + 1e-12``
+        on the same float64 values — is replayed exactly, but evaluated only
+        when an input actually changes: ``changed_item`` names the one item
+        whose cache value moved since the last check (every refresh of an
+        item checks every query containing it, so flags never go stale), and
+        a plan change rebuilds the query's flags from scratch.  The check
+        itself is then a zero-compare.  Single-DAB plans (``secondary is
+        None``, exact-equality semantics) stay on the scalar path.
+        """
+        if not self._vectorize or plan.secondary is None:
+            return plan.window_contains(self._values_for(query))
+        entry = self._window_state.get(query.name)
+        if entry is not None and entry[0] is plan:
+            if entry[1]:
+                return False
+            if changed_item is not None:
+                flags = entry[3]
+                old = flags.get(changed_item)
+                if old is not None:
+                    breached = (abs(self.cache[changed_item]
+                                    - entry[4][changed_item])
+                                > entry[5][changed_item])
+                    if breached is not old:
+                        flags[changed_item] = breached
+                        entry[2] += 1 if breached else -1
+            return entry[2] == 0
+        variables = set(query.variables)
+        missing = False
+        count = 0
+        flags: Dict[str, bool] = {}
+        references: Dict[str, float] = {}
+        widened: Dict[str, float] = {}
+        for name in plan.primary:
+            if name not in variables:
+                continue
+            reference = plan.reference_values.get(name)
+            if reference is None:
+                missing = True
+                break
+            wide = plan.secondary[name] + 1e-12
+            breached = abs(self.cache[name] - reference) > wide
+            flags[name] = breached
+            count += breached
+            references[name] = reference
+            widened[name] = wide
+        self._window_state[query.name] = [plan, missing, count, flags,
+                                          references, widened]
+        if missing:
+            return False
+        return count == 0
+
+    def clear_planner_warm_starts(self) -> None:
+        """A recovered source resynced: its items may have drifted
+        arbitrarily far while it was down, so solver warm starts anchored
+        near the pre-crash optimum are stale — drop them before the replan
+        this resync triggers (plan caches stay; they are value-keyed)."""
+        for planner in (self.planner, self.aao_planner):
+            clear = getattr(planner, "clear_warm_starts", None)
+            if clear is not None:
+                clear()
+
+    def _plan_query(self, query: PolynomialQuery) -> DABAssignment:
+        """One guarded GP solve: solver failures degrade, never escape."""
+        try:
+            return self.planner.plan(query, self._values_for(query))
+        except GPError:
+            self.metrics.record_solver_fallback()
+            previous = self.plans.get(query.name)
+            if previous is not None:
+                return previous
+            # Cold start: no valid plan to keep — fall back to the uniform
+            # single-DAB split, which needs no rate information or solver.
+            from repro.filters.baselines import UniformAllocationBaseline
+
+            return UniformAllocationBaseline().plan(query, self._values_for(query))
+
+    def _recompute(self, query: PolynomialQuery) -> None:
+        plan = self._plan_query(query)
+        self.plans[query.name] = plan
+        self.metrics.record_recomputation(query.name)
+        if self.recompute_hook is not None:
+            self.recompute_hook()
+
+    # -- refresh processing ------------------------------------------------------------
+
+    def apply_refresh(self, item: str, value: float) -> None:
+        """An accepted refresh: the item's cached value moves to ``value``."""
+        self.cache[item] = float(value)
+        if self._vectorize:
+            self._power_table.update(self._power_vector, item, self.cache[item])
+        self.metrics.record_refresh()
+
+    def react_to_refresh(self, item: str) -> Tuple[List[Tuple[str, float]], bool]:
+        """Notify users and recompute plans after ``item`` refreshed.
+
+        Returns ``(notifications, recomputed)``: the ``(query name, new
+        value)`` pairs whose result moved beyond its QAB since the user
+        last saw it, and whether any plan was recomputed (in which case the
+        adapter should ship :meth:`changed_bound_updates`)."""
+        notifications: List[Tuple[str, float]] = []
+        affected = self.item_index.get(item, [])
+        recomputed = False
+        if self._vectorize and affected:
+            # User notification, batched: one sub-bank evaluation gives
+            # every affected query's value (the cache cannot change again
+            # within this event), and one masked compare finds the queries
+            # whose result moved beyond the QAB since the user last saw it.
+            # Notifications draw no randomness, so hoisting them ahead of
+            # the recompute loop leaves the event-stream state untouched.
+            idx = self._affected_idx[item]
+            sub = self._item_banks[item].values_vector(self._power_vector)
+            moved = np.abs(sub - self._last_user_arr[idx]) > self._qab_arr[idx]
+            if moved.any():
+                for pos in np.nonzero(moved)[0].tolist():
+                    bank_pos = int(idx[pos])
+                    value = float(sub[pos])
+                    name = self.queries[bank_pos].name
+                    self.last_user_values[name] = value
+                    self._last_user_arr[bank_pos] = value
+                    self.metrics.record_user_notification()
+                    notifications.append((name, value))
+            if self.mode is RecomputeMode.EVERY_REFRESH:
+                for query in affected:
+                    self._recompute(query)
+                recomputed = True
+            else:
+                # The window check, inlined from ``_window_contains``'s fast
+                # path: only ``item`` moved, so only its breach flag can
+                # have changed since the last check of the same plan.
+                plans = self.plans
+                wstate = self._window_state
+                cache_value = self.cache[item]
+                for query in affected:
+                    plan = plans.get(query.name)
+                    if plan is not None:
+                        entry = wstate.get(query.name)
+                        if entry is not None and entry[0] is plan:
+                            if entry[1]:
+                                contains = False
+                            else:
+                                flags = entry[3]
+                                old = flags.get(item)
+                                if old is not None:
+                                    breached = (abs(cache_value
+                                                    - entry[4][item])
+                                                > entry[5][item])
+                                    if breached is not old:
+                                        flags[item] = breached
+                                        entry[2] += 1 if breached else -1
+                                contains = entry[2] == 0
+                        else:
+                            contains = self._window_contains(query, plan,
+                                                             item)
+                        if contains:
+                            continue
+                    self._recompute(query)
+                    recomputed = True
+        else:
+            for query in affected:
+                # User notification: has the result moved beyond the QAB
+                # since the last value the user saw?
+                value = self.query_value(query)
+                if abs(value - self.last_user_values[query.name]) > query.qab:
+                    self.last_user_values[query.name] = value
+                    self.metrics.record_user_notification()
+                    notifications.append((query.name, value))
+
+                if self.mode is RecomputeMode.EVERY_REFRESH:
+                    self._recompute(query)
+                    recomputed = True
+                else:
+                    plan = self.plans.get(query.name)
+                    if plan is None or not self._window_contains(query, plan):
+                        self._recompute(query)
+                        recomputed = True
+        return notifications, recomputed
+
+    # -- plan fanout -------------------------------------------------------------------
+
+    def changed_bound_updates(self) -> Dict[int, BoundUpdate]:
+        """Diff the merged primary DABs against what each source last saw.
+
+        Bumps the per-item epoch for every materially-changed bound and
+        returns ``{source_id: (bounds, epochs)}`` — one entry per source
+        that must be told (each counted as one DAB-change message, the
+        overhead μ approximates)."""
+        merged = merge_primary(self.plans.values())
+        changed_by_source: Dict[int, Dict[str, float]] = {}
+        for name, bound in merged.items():
+            previous = self._last_sent_bounds.get(name)
+            if previous is not None and abs(bound - previous) <= _DAB_CHANGE_REL_TOL * previous:
+                continue
+            self._last_sent_bounds[name] = bound
+            self.epochs[name] = self.epochs.get(name, 0) + 1
+            source_id = self.item_to_source.get(name)
+            if source_id is not None:
+                changed_by_source.setdefault(source_id, {})[name] = bound
+        updates: Dict[int, BoundUpdate] = {}
+        for source_id, bounds in changed_by_source.items():
+            epochs = {name: self.epochs[name] for name in bounds}
+            self.metrics.record_dab_change_messages(1)
+            updates[source_id] = (bounds, epochs)
+        return updates
+
+    def current_bounds_for(self, source_id: int) -> BoundUpdate:
+        """The latest sent bounds (and epochs) for one source — what a
+        newly-connected or resyncing source must be programmed with."""
+        bounds = {name: bound for name, bound in self._last_sent_bounds.items()
+                  if self.item_to_source.get(name) == source_id}
+        epochs = {name: self.epochs.get(name, 0) for name in bounds}
+        return bounds, epochs
+
+    # -- AAO periodic ------------------------------------------------------------------
+
+    def aao_replan(self) -> bool:
+        """Full joint recomputation on the AAO-T schedule.
+
+        One AAO solve is counted as a single recomputation (it is one
+        coordinated DAB change, whose larger fanout is folded into μ, as in
+        the paper's accounting for Figure 7).  Returns False when the solver
+        failed and the previous joint plan stays in force."""
+        try:
+            multi = self.aao_planner.plan_all(self.queries, self.cache)
+        except GPError:
+            # Keep serving on the previous joint plan; try again next period.
+            self.metrics.record_solver_fallback()
+            return False
+        self.plans = dict(multi.per_query)
+        self.metrics.record_recomputation("__aao__")
+        return True

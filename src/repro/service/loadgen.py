@@ -1,0 +1,187 @@
+"""Load generator: N sources × M subscribers against a live coordinator.
+
+``run_loadgen`` builds the same deterministic scenario the server was
+launched with (same seed → same items, traces and queries on both sides),
+spins up one :class:`SourceAgent` per source and M
+:class:`ServiceClient` subscribers, replays ``duration`` trace steps
+through the DAB filters, then audits the run:
+
+* **throughput** — ticks/sec pushed through the agents' filters;
+* **notify latency** — p50/p95/p99 of refresh-sent → notify-received;
+* **refresh / recompute counts** — from the server's SNAPSHOT stats;
+* **QAB violations** — the final served value of every query is checked
+  against the ground truth evaluated at the agents' *current* (not just
+  sent) values; fault-free this must be zero, because every unsent value
+  is inside its primary DAB by construction (the paper's Theorem 1
+  guarantee, exercised end to end over the wire).
+
+The report is returned and, when ``output`` is given, written as JSON —
+``benchmarks/results/BENCH_service.json`` in the CI flow.
+
+Two attach modes: ``host``/``port`` drive a live ``repro serve`` process
+over TCP; with ``server`` (or neither), everything runs in process over
+the loopback transport — same protocol bytes, no sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time as _time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.service.agent import agents_for_scenario
+from repro.service.client import ServiceClient, latency_percentiles
+
+
+async def _run_async(
+    server: "Any",
+    scenario: "Any",
+    item_to_source: Dict[str, int],
+    subscriber_count: int,
+    duration: int,
+    tick_interval: float,
+    host: Optional[str],
+    port: Optional[int],
+) -> Dict[str, Any]:
+    over_tcp = host is not None and port is not None
+
+    async def _attach():
+        if over_tcp:
+            from repro.service.transports import open_tcp_stream
+            return await open_tcp_stream(host, port)
+        return server.connect_loopback()
+
+    agents = agents_for_scenario(scenario, item_to_source,
+                                 timestamp_refreshes=True)
+    for agent in agents.values():
+        await agent.connect(await _attach())
+
+    subscribers = []
+    for _ in range(subscriber_count):
+        client = ServiceClient(await _attach())
+        await client.subscribe("*")
+        subscribers.append(client)
+
+    started = _time.perf_counter()
+    sent = await asyncio.gather(*[
+        agent.replay(scenario.traces, tick_interval=tick_interval,
+                     max_steps=duration)
+        for agent in agents.values()
+    ])
+    elapsed = _time.perf_counter() - started
+
+    # Let in-flight notifies drain before auditing.
+    await asyncio.sleep(0.05 if not over_tcp else 0.2)
+
+    auditor = ServiceClient(await _attach())
+    served = await auditor.subscribe("*")
+    stats = auditor.stats_seen
+
+    truth = {}
+    for agent in agents.values():
+        truth.update(agent.values)
+    violations = []
+    for query in scenario.queries:
+        true_value = query.evaluate(truth)
+        error = abs(served[query.name] - true_value)
+        if error > query.qab * (1.0 + 1e-9) + 1e-12:
+            violations.append({"query": query.name, "error": error,
+                               "qab": query.qab})
+
+    latencies = [sample for client in subscribers for sample in client.latencies]
+    ticks = sum(agent.stats["ticks"] for agent in agents.values())
+    report = {
+        "sources": len(agents),
+        "subscribers": subscriber_count,
+        "queries": len(scenario.queries),
+        "items": len(item_to_source),
+        "duration_steps": duration,
+        "transport": "tcp" if over_tcp else "loopback",
+        "elapsed_seconds": elapsed,
+        "ticks": ticks,
+        "ticks_per_second": ticks / elapsed if elapsed > 0 else 0.0,
+        "refreshes_sent": sum(s for s in sent),
+        "refreshes_filtered": sum(agent.stats["refreshes_filtered"]
+                                  for agent in agents.values()),
+        "notifies_received": sum(client.notifies_received
+                                 for client in subscribers),
+        "notify_latency_seconds": latency_percentiles(latencies),
+        "latency_samples": len(latencies),
+        "server_stats": stats,
+        "qab_violations": len(violations),
+        "qab_violation_detail": violations[:10],
+    }
+
+    await auditor.close()
+    for client in subscribers:
+        await client.close()
+    for agent in agents.values():
+        await agent.close()
+    if server is not None:
+        await server.close()
+    return report
+
+
+def run_loadgen(
+    sources: int = 8,
+    queries: int = 100,
+    items: int = 40,
+    duration: int = 30,
+    subscribers: int = 4,
+    tick_interval: float = 0.0,
+    seed: int = 0,
+    algorithm: str = "dual_dab",
+    workload: str = "portfolio",
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    output: Optional[str] = None,
+    trace_length: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Run the load generator; see the module docstring for semantics.
+
+    ``duration`` counts trace steps replayed per source.  With
+    ``host``/``port`` the scenario is rebuilt locally (the server must
+    have been launched with the same ``--queries/--items/--sources/--seed``)
+    and driven over TCP; otherwise an in-process server is built and the
+    whole run goes over the loopback transport.
+    """
+    trace_length = max(trace_length or 0, duration + 2)
+    over_tcp = host is not None and port is not None
+    if over_tcp:
+        # The live server is authoritative for planning; this side only
+        # needs the (same-seed, hence identical) scenario and routing.
+        from repro.simulation.source import assign_items_to_sources
+        from repro.workloads import scaled_scenario
+
+        scenario = scaled_scenario(
+            query_count=queries, item_count=items, trace_length=trace_length,
+            source_count=sources, query_kind=workload, seed=seed)
+        item_to_source = assign_items_to_sources(
+            sorted({v for q in scenario.queries for v in q.variables}),
+            sources)
+        server = None
+    else:
+        from repro.service.server import build_scenario_server
+
+        server, scenario, item_to_source = build_scenario_server(
+            query_count=queries, item_count=items, source_count=sources,
+            trace_length=trace_length, seed=seed, algorithm=algorithm,
+            workload=workload,
+        )
+    report = asyncio.run(_run_async(
+        server=None if over_tcp else server,
+        scenario=scenario, item_to_source=item_to_source,
+        subscriber_count=subscribers, duration=duration,
+        tick_interval=tick_interval, host=host, port=port,
+    ))
+    report["seed"] = seed
+    report["algorithm"] = algorithm
+    report["workload"] = workload
+    if output:
+        path = Path(output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        report["output"] = str(path)
+    return report

@@ -1,0 +1,242 @@
+"""Framed, versioned wire protocol for the live service.
+
+Every message is one *frame*: a 4-byte big-endian unsigned length prefix
+followed by that many bytes of UTF-8 JSON.  The JSON object always carries
+
+* ``"v"`` — the protocol version (:data:`PROTOCOL_VERSION`); a peer
+  rejects frames from a different major version instead of guessing, and
+* ``"type"`` — one of :class:`MessageType`.
+
+The message vocabulary mirrors the simulator's event kinds so the
+recovery semantics proven there carry over to the wire:
+
+=================  =======================================================
+``REGISTER_SOURCE``  a source announces itself and its items; the server
+                     replies with a ``DAB_UPDATE`` programming the
+                     source's current primary DABs (also the resync path
+                     after a reconnect)
+``REFRESH``          a source pushes one item's new value; carries the
+                     per-item monotone ``seq`` number (duplicate /
+                     reordered deliveries are rejected exactly like the
+                     simulator's fault-mode dedup) and optionally
+                     ``resync``/``sent_at``
+``DAB_UPDATE``       server → source: new primary DABs, each with its
+                     per-item monotone *epoch* — a source applies a bound
+                     only if the epoch is newer than the one it holds, so
+                     in-flight reorder and duplicates are idempotent
+``HEARTBEAT``        a source's liveness beacon carrying per-item refresh
+                     seq numbers (lost-refresh gap detection)
+``QUERY_SUB``        a client subscribes to query-result notifications
+``NOTIFY``           server → client: batched query-value updates
+``SNAPSHOT``         request (no ``values``) / response (``values`` and
+                     server ``stats``)
+``ERROR``            either direction: a fatal protocol complaint
+=================  =======================================================
+
+Framing is deliberately boring — length-prefixed JSON decodes in any
+language, and the :class:`FrameDecoder` below handles partial frames,
+rejects oversized ones before buffering them, and never trusts the peer.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import struct
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.exceptions import ReproError
+
+#: Bumped on any incompatible message/framing change.
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame's JSON body.  A peer announcing a larger
+#: frame is protocol-violating (or hostile): the decoder raises before
+#: buffering a single body byte.
+MAX_FRAME_BYTES = 1 << 20
+
+_HEADER = struct.Struct(">I")
+HEADER_BYTES = _HEADER.size
+
+
+class ProtocolError(ReproError):
+    """A malformed, oversized, unknown or version-mismatched message."""
+
+
+class MessageType(enum.Enum):
+    REGISTER_SOURCE = "register_source"
+    REFRESH = "refresh"
+    DAB_UPDATE = "dab_update"
+    HEARTBEAT = "heartbeat"
+    QUERY_SUB = "query_sub"
+    NOTIFY = "notify"
+    SNAPSHOT = "snapshot"
+    ERROR = "error"
+
+    @classmethod
+    def from_wire(cls, value: object) -> "MessageType":
+        try:
+            return cls(value)
+        except ValueError:
+            raise ProtocolError(f"unknown message type {value!r}")
+
+
+#: Fields (beyond ``v``/``type``) a message of each type must carry.
+_REQUIRED: Dict[MessageType, Sequence[str]] = {
+    MessageType.REGISTER_SOURCE: ("source_id", "items"),
+    MessageType.REFRESH: ("source_id", "item", "value", "seq"),
+    MessageType.DAB_UPDATE: ("source_id", "bounds", "epochs"),
+    MessageType.HEARTBEAT: ("source_id", "seqs"),
+    MessageType.QUERY_SUB: ("queries",),
+    MessageType.NOTIFY: ("updates",),
+    MessageType.SNAPSHOT: (),
+    MessageType.ERROR: ("reason",),
+}
+
+
+# ---------------------------------------------------------------------------
+# framing
+# ---------------------------------------------------------------------------
+
+def encode_frame(message: Mapping[str, Any],
+                 max_frame_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """One wire frame for ``message`` (length prefix + compact JSON)."""
+    body = json.dumps(message, separators=(",", ":"), sort_keys=True,
+                      allow_nan=False).encode("utf-8")
+    if len(body) > max_frame_bytes:
+        raise ProtocolError(
+            f"outgoing frame of {len(body)} bytes exceeds the "
+            f"{max_frame_bytes}-byte limit")
+    return _HEADER.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental frame decoder: feed arbitrary byte chunks, get messages.
+
+    Partial frames stay buffered across :meth:`feed` calls; a frame whose
+    announced length exceeds ``max_frame_bytes`` raises
+    :class:`ProtocolError` *before* its body is buffered, as does a body
+    that is not valid JSON or not a JSON object.  After an error the
+    decoder is poisoned — the only safe recovery from corrupt framing is
+    closing the connection.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES):
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+        self._poisoned = False
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        """Buffer ``data``; return every message completed by it."""
+        if self._poisoned:
+            raise ProtocolError("decoder already failed; close the connection")
+        self._buffer.extend(data)
+        messages: List[Dict[str, Any]] = []
+        while True:
+            if len(self._buffer) < HEADER_BYTES:
+                return messages
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > self.max_frame_bytes:
+                self._poisoned = True
+                raise ProtocolError(
+                    f"peer announced a {length}-byte frame; limit is "
+                    f"{self.max_frame_bytes}")
+            if len(self._buffer) < HEADER_BYTES + length:
+                return messages
+            body = bytes(self._buffer[HEADER_BYTES:HEADER_BYTES + length])
+            del self._buffer[:HEADER_BYTES + length]
+            try:
+                message = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                self._poisoned = True
+                raise ProtocolError(f"undecodable frame body: {error}")
+            if not isinstance(message, dict):
+                self._poisoned = True
+                raise ProtocolError(
+                    f"frame body must be a JSON object, got {type(message).__name__}")
+            messages.append(message)
+
+
+def validate_message(message: Mapping[str, Any]) -> MessageType:
+    """Check version, type and required fields; return the parsed type."""
+    version = message.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: got {version!r}, "
+            f"speaking {PROTOCOL_VERSION}")
+    kind = MessageType.from_wire(message.get("type"))
+    missing = [name for name in _REQUIRED[kind] if name not in message]
+    if missing:
+        raise ProtocolError(
+            f"{kind.value} message missing fields: {', '.join(missing)}")
+    return kind
+
+
+# ---------------------------------------------------------------------------
+# message constructors
+# ---------------------------------------------------------------------------
+
+def _message(kind: MessageType, **fields: Any) -> Dict[str, Any]:
+    body: Dict[str, Any] = {"v": PROTOCOL_VERSION, "type": kind.value}
+    body.update({name: value for name, value in fields.items()
+                 if value is not None})
+    return body
+
+
+def register_source(source_id: int, items: Iterable[str]) -> Dict[str, Any]:
+    return _message(MessageType.REGISTER_SOURCE, source_id=int(source_id),
+                    items=sorted(items))
+
+
+def refresh(source_id: int, item: str, value: float, seq: int, *,
+            resync: bool = False,
+            sent_at: Optional[float] = None) -> Dict[str, Any]:
+    return _message(MessageType.REFRESH, source_id=int(source_id), item=item,
+                    value=float(value), seq=int(seq),
+                    resync=True if resync else None, sent_at=sent_at)
+
+
+def dab_update(source_id: int, bounds: Mapping[str, float],
+               epochs: Mapping[str, int]) -> Dict[str, Any]:
+    return _message(MessageType.DAB_UPDATE, source_id=int(source_id),
+                    bounds={k: float(v) for k, v in bounds.items()},
+                    epochs={k: int(v) for k, v in epochs.items()})
+
+
+def heartbeat(source_id: int, seqs: Mapping[str, int]) -> Dict[str, Any]:
+    return _message(MessageType.HEARTBEAT, source_id=int(source_id),
+                    seqs={k: int(v) for k, v in seqs.items()})
+
+
+def query_sub(queries: object = "*") -> Dict[str, Any]:
+    """Subscribe to ``queries`` — a list of query names, or ``"*"``."""
+    if queries != "*":
+        queries = sorted(queries)
+    return _message(MessageType.QUERY_SUB, queries=queries)
+
+
+def notify(updates: Sequence[Mapping[str, Any]], *,
+           sent_at: Optional[float] = None,
+           refresh_sent_at: Optional[float] = None) -> Dict[str, Any]:
+    """Batched query-value updates: ``[{"query", "value"}, ...]``.
+
+    ``refresh_sent_at`` echoes the triggering refresh's ``sent_at`` so a
+    subscriber can measure end-to-end notify latency without clock games.
+    """
+    return _message(MessageType.NOTIFY, updates=list(updates),
+                    sent_at=sent_at, refresh_sent_at=refresh_sent_at)
+
+
+def snapshot(values: Optional[Mapping[str, float]] = None,
+             stats: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+    """Request form (no ``values``) or response form (with them)."""
+    return _message(MessageType.SNAPSHOT, values=dict(values) if values is not None else None,
+                    stats=dict(stats) if stats is not None else None)
+
+
+def error(reason: str) -> Dict[str, Any]:
+    return _message(MessageType.ERROR, reason=str(reason))

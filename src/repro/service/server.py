@@ -1,0 +1,435 @@
+"""The live coordinator: an asyncio server over :class:`CoordinatorCore`.
+
+One :class:`CoordinatorServer` owns the same
+:class:`~repro.service.core.CoordinatorCore` the simulator's coordinator
+wraps — cache, compiled-query-bank evaluation, secondary-DAB window
+checks, recomputation through the compiled-GP planner stack — and speaks
+the framed protocol of :mod:`repro.service.protocol` to two kinds of
+peers:
+
+* **sources** (``REGISTER_SOURCE`` → ``REFRESH``/``HEARTBEAT`` in,
+  ``DAB_UPDATE`` out).  Refreshes are deduplicated by per-item sequence
+  number (a duplicate or overtaken refresh never clobbers the cache —
+  the simulator's fault-mode semantics, always on here because real
+  networks reorder), and registration doubles as resync: the reply
+  programs the source's current primary DABs with their epochs.
+* **subscribers** (``QUERY_SUB`` in, ``SNAPSHOT`` + batched ``NOTIFY``
+  out).  Notifications are fanned out through a bounded per-connection
+  queue drained by a writer task; a subscriber that stops reading long
+  enough for its queue to fill is a *slow consumer* and is evicted
+  rather than allowed to stall the coordinator or balloon its memory.
+
+The server is single-event-loop by design: every message handler runs on
+the loop thread, so core state needs no locks — exactly the
+single-coordinator model of the paper (§II).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time as _time
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import ReproError
+from repro.queries.polynomial import PolynomialQuery
+from repro.service import protocol
+from repro.service.core import CoordinatorCore, RecomputeMode
+from repro.service.protocol import MessageType, ProtocolError
+from repro.service.transports import MessageStream, TransportClosed, loopback_pair
+from repro.simulation.metrics import MetricsCollector
+
+#: NOTIFY batches a subscriber may have outstanding before it is evicted.
+DEFAULT_NOTIFY_QUEUE_LIMIT = 64
+
+
+class _Subscriber:
+    """One QUERY_SUB connection and its bounded outbound queue."""
+
+    def __init__(self, sub_id: int, stream: MessageStream,
+                 queries: Optional[Set[str]], limit: int):
+        self.sub_id = sub_id
+        self.stream = stream
+        #: ``None`` subscribes to every query.
+        self.queries = queries
+        self.queue: "asyncio.Queue[Optional[Dict[str, Any]]]" = (
+            asyncio.Queue(maxsize=limit))
+        self.writer_task: Optional[asyncio.Task] = None
+        self.evicted = False
+
+    def wants(self, query_name: str) -> bool:
+        return self.queries is None or query_name in self.queries
+
+
+class CoordinatorServer:
+    """Serve continuous polynomial queries over live refresh streams."""
+
+    def __init__(
+        self,
+        queries: Sequence[PolynomialQuery],
+        planner: object,
+        initial_values: Mapping[str, float],
+        item_to_source: Mapping[str, int],
+        mode: RecomputeMode = RecomputeMode.ON_WINDOW_VIOLATION,
+        aao_planner: Optional[object] = None,
+        aao_period: Optional[int] = None,
+        vectorize: bool = True,
+        recompute_cost: float = 1.0,
+        metrics: Optional[MetricsCollector] = None,
+        notify_queue_limit: int = DEFAULT_NOTIFY_QUEUE_LIMIT,
+    ):
+        self.metrics = metrics if metrics is not None else MetricsCollector(
+            recompute_cost=recompute_cost)
+        self.core = CoordinatorCore(
+            queries=queries, planner=planner, mode=mode, metrics=self.metrics,
+            initial_values=initial_values, item_to_source=item_to_source,
+            aao_planner=aao_planner, aao_period=aao_period,
+            vectorize=vectorize,
+        )
+        self.core.bootstrap()
+        self.notify_queue_limit = int(notify_queue_limit)
+        self._query_names = {query.name for query in self.core.queries}
+
+        #: source_id -> its (sole) live stream; replaced on re-register.
+        self._source_streams: Dict[int, MessageStream] = {}
+        self._subscribers: Dict[int, _Subscriber] = {}
+        self._sub_counter = 0
+        #: item -> highest refresh sequence number accepted (dedup guard).
+        self.last_seq: Dict[str, int] = {}
+        #: source_id -> wall-clock time of the last refresh/heartbeat.
+        self.last_heard: Dict[int, float] = {}
+        self._tcp_server: Optional[asyncio.AbstractServer] = None
+        self._handler_tasks: Set[asyncio.Task] = set()
+        self.stats = {
+            "refreshes_accepted": 0,
+            "refreshes_rejected_stale_seq": 0,
+            "notifies_sent": 0,
+            "dab_updates_sent": 0,
+            "slow_consumer_evictions": 0,
+            "protocol_errors": 0,
+            "sources_registered": 0,
+            "subscribers": 0,
+        }
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def serve_tcp(self, host: str = "127.0.0.1",
+                        port: int = 0) -> Tuple[str, int]:
+        """Start accepting TCP connections; returns the bound address."""
+        async def _accept(reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+            peer = writer.get_extra_info("peername")
+            stream = MessageStream(reader, writer, name=str(peer))
+            await self.handle_connection(stream)
+
+        self._tcp_server = await asyncio.start_server(_accept, host, port)
+        sockname = self._tcp_server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    def connect_loopback(self) -> MessageStream:
+        """A client-end stream connected in process (no sockets) — the
+        transport the CI suite and the in-process loadgen run on."""
+        client_end, server_end = loopback_pair()
+        task = asyncio.ensure_future(self.handle_connection(server_end))
+        self._handler_tasks.add(task)
+        task.add_done_callback(self._handler_tasks.discard)
+        return client_end
+
+    async def close(self) -> None:
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+        for subscriber in list(self._subscribers.values()):
+            await self._drop_subscriber(subscriber)
+        for stream in list(self._source_streams.values()):
+            stream.close()
+        self._source_streams.clear()
+        for task in list(self._handler_tasks):
+            task.cancel()
+        for task in list(self._handler_tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+    # -- connection handling -------------------------------------------------------
+
+    async def handle_connection(self, stream: MessageStream) -> None:
+        """Serve one peer until EOF or a protocol violation."""
+        source_id: Optional[int] = None
+        sub: Optional[_Subscriber] = None
+        try:
+            while True:
+                message = await stream.receive()
+                if message is None:
+                    break
+                try:
+                    kind = protocol.validate_message(message)
+                except ProtocolError as err:
+                    self.stats["protocol_errors"] += 1
+                    await self._safe_send(stream, protocol.error(str(err)))
+                    break
+                if kind is MessageType.REGISTER_SOURCE:
+                    source_id = await self._on_register_source(stream, message)
+                elif kind is MessageType.REFRESH:
+                    await self._on_refresh(stream, message)
+                elif kind is MessageType.HEARTBEAT:
+                    self.last_heard[int(message["source_id"])] = _time.time()
+                elif kind is MessageType.QUERY_SUB:
+                    sub = await self._on_query_sub(stream, message)
+                elif kind is MessageType.SNAPSHOT:
+                    await self._safe_send(stream, self._snapshot_response())
+                else:
+                    # NOTIFY/DAB_UPDATE are server-to-peer only; a peer
+                    # sending them (or ERROR) ends the conversation.
+                    self.stats["protocol_errors"] += 1
+                    await self._safe_send(stream, protocol.error(
+                        f"unexpected {kind.value} from a client"))
+                    break
+        except ProtocolError:
+            self.stats["protocol_errors"] += 1
+            await self._safe_send(stream, protocol.error("corrupt framing"))
+        finally:
+            stream.close()
+            if source_id is not None and self._source_streams.get(source_id) is stream:
+                del self._source_streams[source_id]
+            if sub is not None:
+                await self._drop_subscriber(sub)
+
+    async def _safe_send(self, stream: MessageStream,
+                         message: Dict[str, Any]) -> bool:
+        try:
+            await stream.send(message)
+            return True
+        except (TransportClosed, ProtocolError):
+            return False
+
+    # -- source-plane handlers ------------------------------------------------------
+
+    async def _on_register_source(self, stream: MessageStream,
+                                  message: Dict[str, Any]) -> int:
+        """Adopt (or re-adopt) a source; programming its current DABs in
+        the reply doubles as crash/reconnect resync."""
+        source_id = int(message["source_id"])
+        known = {name for name, owner in self.core.item_to_source.items()
+                 if owner == source_id}
+        unknown = [name for name in message["items"] if name not in known]
+        if unknown:
+            self.metrics.record_misrouted_bounds(len(unknown))
+        previous = self._source_streams.get(source_id)
+        if previous is not None and previous is not stream:
+            previous.close()
+        self._source_streams[source_id] = stream
+        self.last_heard[source_id] = _time.time()
+        self.stats["sources_registered"] += 1
+        bounds, epochs = self.core.current_bounds_for(source_id)
+        if await self._safe_send(stream,
+                                 protocol.dab_update(source_id, bounds, epochs)):
+            self.stats["dab_updates_sent"] += 1
+        return source_id
+
+    async def _on_refresh(self, stream: MessageStream,
+                          message: Dict[str, Any]) -> None:
+        item = message["item"]
+        if item not in self.core.cache:
+            self.metrics.record_misrouted_bounds()
+            return
+        seq = int(message["seq"])
+        # Same dedup the simulator applies under faults — always on here:
+        # TCP per connection is ordered, but a reconnecting source resends,
+        # and nothing stops two connections racing for one source_id.
+        if seq <= self.last_seq.get(item, 0):
+            self.metrics.record_refresh()
+            self.metrics.record_duplicate_reject()
+            self.stats["refreshes_rejected_stale_seq"] += 1
+            return
+        self.last_seq[item] = seq
+        self.last_heard[int(message["source_id"])] = _time.time()
+        self.core.apply_refresh(item, float(message["value"]))
+        self.stats["refreshes_accepted"] += 1
+        if message.get("resync"):
+            self.core.clear_planner_warm_starts()
+        notifications, recomputed = self.core.react_to_refresh(item)
+        if recomputed:
+            await self._fanout_bound_changes()
+        if notifications:
+            self._fanout_notifications(notifications,
+                                       message.get("sent_at"))
+
+    async def _fanout_bound_changes(self) -> None:
+        for source_id, (bounds, epochs) in self.core.changed_bound_updates().items():
+            stream = self._source_streams.get(source_id)
+            if stream is None:
+                # Disconnected source: the bounds stay in the core's
+                # last-sent state and are re-programmed wholesale when the
+                # source re-registers (the resync path).
+                continue
+            if await self._safe_send(stream,
+                                     protocol.dab_update(source_id, bounds,
+                                                         epochs)):
+                self.stats["dab_updates_sent"] += 1
+
+    # -- subscriber plane -----------------------------------------------------------
+
+    async def _on_query_sub(self, stream: MessageStream,
+                            message: Dict[str, Any]) -> _Subscriber:
+        wanted = message["queries"]
+        if wanted == "*":
+            names: Optional[Set[str]] = None
+        else:
+            names = {name for name in wanted if name in self._query_names}
+        self._sub_counter += 1
+        sub = _Subscriber(self._sub_counter, stream, names,
+                          self.notify_queue_limit)
+        self._subscribers[sub.sub_id] = sub
+        self.stats["subscribers"] = len(self._subscribers)
+        sub.writer_task = asyncio.ensure_future(self._subscriber_writer(sub))
+        await self._safe_send(stream, self._snapshot_response(sub))
+        return sub
+
+    def _snapshot_response(self, sub: Optional[_Subscriber] = None
+                           ) -> Dict[str, Any]:
+        values = {query.name: value for query, value in
+                  zip(self.core.queries, self.core.query_values())
+                  if sub is None or sub.wants(query.name)}
+        return protocol.snapshot(values=values, stats=self.server_stats())
+
+    def _fanout_notifications(self, notifications: List[Tuple[str, float]],
+                              refresh_sent_at: Optional[float]) -> None:
+        """One batched NOTIFY per interested subscriber, through its
+        bounded queue; a full queue evicts the slow consumer."""
+        now = _time.time()
+        for sub in list(self._subscribers.values()):
+            updates = [{"query": name, "value": value}
+                       for name, value in notifications if sub.wants(name)]
+            if not updates:
+                continue
+            message = protocol.notify(updates, sent_at=now,
+                                      refresh_sent_at=refresh_sent_at)
+            try:
+                sub.queue.put_nowait(message)
+            except asyncio.QueueFull:
+                self._evict_slow_consumer(sub)
+
+    def _evict_slow_consumer(self, sub: _Subscriber) -> None:
+        if sub.evicted:
+            return
+        sub.evicted = True
+        self.stats["slow_consumer_evictions"] += 1
+        self._subscribers.pop(sub.sub_id, None)
+        self.stats["subscribers"] = len(self._subscribers)
+        if sub.writer_task is not None:
+            sub.writer_task.cancel()
+        sub.stream.close()
+
+    async def _drop_subscriber(self, sub: _Subscriber) -> None:
+        self._subscribers.pop(sub.sub_id, None)
+        self.stats["subscribers"] = len(self._subscribers)
+        if sub.writer_task is not None and not sub.writer_task.done():
+            sub.queue.put_nowait(None)     # graceful: flush, then stop
+            try:
+                await asyncio.wait_for(sub.writer_task, timeout=1.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                sub.writer_task.cancel()
+        sub.stream.close()
+
+    async def _subscriber_writer(self, sub: _Subscriber) -> None:
+        """Drain one subscriber's queue onto its stream."""
+        try:
+            while True:
+                message = await sub.queue.get()
+                if message is None:
+                    return
+                await sub.stream.send(message)
+                self.stats["notifies_sent"] += 1
+        except (TransportClosed, ProtocolError):
+            self._subscribers.pop(sub.sub_id, None)
+            self.stats["subscribers"] = len(self._subscribers)
+            sub.stream.close()
+        except asyncio.CancelledError:
+            raise
+
+    # -- introspection ---------------------------------------------------------------
+
+    def server_stats(self) -> Dict[str, Any]:
+        stats = dict(self.stats)
+        stats["recomputations"] = self.metrics.recomputations
+        stats["refreshes"] = self.metrics.refreshes
+        stats["dab_change_messages"] = self.metrics.dab_change_messages
+        stats["user_notifications"] = self.metrics.user_notifications
+        stats["duplicate_rejects"] = self.metrics.duplicate_rejects
+        stats["queries"] = len(self.core.queries)
+        stats["items"] = len(self.core.cache)
+        return stats
+
+
+# ---------------------------------------------------------------------------
+# scenario-driven construction (shared by `repro serve` and the loadgen)
+# ---------------------------------------------------------------------------
+
+def build_scenario_server(
+    query_count: int = 10,
+    item_count: int = 30,
+    source_count: int = 8,
+    trace_length: int = 301,
+    seed: int = 0,
+    algorithm: str = "dual_dab",
+    recompute_cost: float = 5.0,
+    workload: str = "portfolio",
+    vectorize: bool = True,
+    notify_queue_limit: int = DEFAULT_NOTIFY_QUEUE_LIMIT,
+):
+    """A :class:`CoordinatorServer` plus its scenario, built exactly like a
+    simulator run: same workload generator, same rate estimation, same
+    planner stack.  Returns ``(server, scenario, item_to_source)``.
+
+    ``repro serve`` and ``repro agent``/``repro loadgen`` must be launched
+    with the same ``--queries/--items/--sources/--seed/--workload`` so both
+    sides derive the same scenario; the server is authoritative for
+    planning, the agents for the item traces.
+    """
+    # Imported here: these pull in repro.simulation, which imports
+    # repro.service.core — keeping the heavy imports out of module scope
+    # keeps the import graph acyclic from every entry point.
+    from repro.simulation.harness import (
+        AlgorithmName,
+        SimulationConfig,
+        _SINGLE_DAB_MODES,
+        build_planner,
+    )
+    from repro.simulation.source import assign_items_to_sources
+    from repro.workloads import scaled_scenario
+
+    scenario = scaled_scenario(
+        query_count=query_count, item_count=item_count,
+        trace_length=trace_length, source_count=source_count,
+        query_kind=workload, seed=seed,
+    )
+    config = SimulationConfig(
+        queries=scenario.queries, traces=scenario.traces,
+        algorithm=algorithm, recompute_cost=recompute_cost,
+        source_count=source_count, seed=seed, vectorize=vectorize,
+    )
+    if config.algorithm is AlgorithmName.AAO_T:
+        raise ReproError("the live service has no periodic scheduler yet; "
+                         "pick a per-query algorithm")
+    from repro.dynamics.estimation import SampledRateEstimator
+    from repro.filters.caching import QuantisingCachePlanner
+    from repro.filters.cost_model import CostModel
+
+    items = config.used_items
+    rates = SampledRateEstimator().estimate_all(config.traces, items)
+    cost_model = CostModel(ddm=config.ddm, rates=rates,
+                           recompute_cost=recompute_cost)
+    planner = build_planner(config, cost_model)
+    if config.cache_grid is not None:
+        planner = QuantisingCachePlanner(planner, grid=config.cache_grid)
+    item_to_source = assign_items_to_sources(items, source_count)
+    server = CoordinatorServer(
+        queries=config.queries, planner=planner,
+        initial_values=config.traces.initial_values(items),
+        item_to_source=item_to_source,
+        mode=_SINGLE_DAB_MODES[config.algorithm],
+        vectorize=vectorize, recompute_cost=recompute_cost,
+        notify_queue_limit=notify_queue_limit,
+    )
+    return server, scenario, item_to_source

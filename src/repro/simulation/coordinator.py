@@ -15,6 +15,15 @@ policy*:
   every ``T`` ticks, window-violation patches with the per-query planner in
   between.
 
+Since PR 4 the planning/recomputation state machine lives in the shared
+:class:`~repro.service.core.CoordinatorCore`; this class is the simulator's
+*event-loop adapter* over it — it owns everything tied to simulated time
+and the simulated network: the busy-server clock, Pareto message delays,
+fault injection, reliable DAB delivery (ack/retry), staleness leases and
+the honest-uncertainty degradation.  The live asyncio service
+(:mod:`repro.service.server`) wraps the very same core, so the simulator's
+golden metrics pin the service's planning behaviour too.
+
 After recomputations the coordinator ships changed primary DABs to the
 owning sources as DAB-change messages (one message per source notified —
 the overhead μ approximates).  Every bound carries a per-item monotone
@@ -40,36 +49,25 @@ coordinator additionally runs the degradation protocol:
 
 from __future__ import annotations
 
-import enum
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.exceptions import GPError, SimulationError
-from repro.filters.assignment import DABAssignment, merge_primary
-from repro.queries.compiled import (
-    CompiledPolynomial,
-    CompiledQueryBank,
-    PowerTable,
-)
+from repro.exceptions import SimulationError
+from repro.filters.assignment import DABAssignment
+from repro.queries.compiled import CompiledPolynomial, PowerTable
 from repro.queries.polynomial import PolynomialQuery
+from repro.service.core import CoordinatorCore, RecomputeMode
 from repro.simulation.events import Event, EventKind, EventQueue
 from repro.simulation.faults import DISABLED, FaultModel
 from repro.simulation.metrics import MetricsCollector
 from repro.simulation.network import DelayModel, ZeroDelayModel
 
-#: Relative change below which a DAB update is not worth a message.
-_DAB_CHANGE_REL_TOL = 1e-9
-
-
-class RecomputeMode(enum.Enum):
-    EVERY_REFRESH = "every_refresh"
-    ON_WINDOW_VIOLATION = "on_window_violation"
-    AAO_PERIODIC = "aao_periodic"
+__all__ = ["Coordinator", "RecomputeMode"]
 
 
 class Coordinator:
-    """Single-coordinator query service."""
+    """Single-coordinator query service (the simulator's core adapter)."""
 
     def __init__(
         self,
@@ -89,20 +87,18 @@ class Coordinator:
         fault_model: Optional[FaultModel] = None,
         vectorize: bool = False,
     ):
-        if not queries:
-            raise SimulationError("a coordinator needs at least one query")
-        names = [q.name for q in queries]
-        if len(set(names)) != len(names):
-            raise SimulationError("query names must be unique at a coordinator")
-        if mode is RecomputeMode.AAO_PERIODIC:
-            if aao_planner is None or aao_period is None or aao_period < 1:
-                raise SimulationError(
-                    "AAO_PERIODIC mode needs an aao_planner and a period >= 1"
-                )
-
-        self.queries = list(queries)
-        self.planner = planner
-        self.mode = mode
+        self.core = CoordinatorCore(
+            queries=queries,
+            planner=planner,
+            mode=mode,
+            metrics=metrics,
+            initial_values=initial_values,
+            item_to_source=item_to_source,
+            aao_planner=aao_planner,
+            aao_period=aao_period,
+            vectorize=vectorize,
+            recompute_hook=self._charge_recompute_time,
+        )
         self.queue = queue
         self.metrics = metrics
         self.network_delay = network_delay if network_delay is not None else ZeroDelayModel()
@@ -119,82 +115,17 @@ class Coordinator:
         #: Optional OnlineRateTracker: refreshed rates flow into subsequent
         #: recomputations through the shared cost-model dict.
         self.rate_tracker = rate_tracker
-        self.aao_planner = aao_planner
-        self.aao_period = aao_period
-        self.item_to_source = dict(item_to_source)
+        self.item_to_source = self.core.item_to_source
         self.faults = fault_model if fault_model is not None else DISABLED
-
-        self.cache: Dict[str, float] = {
-            name: float(initial_values[name])
-            for q in self.queries for name in q.variables
-        }
-        self.plans: Dict[str, DABAssignment] = {}
-        self.last_user_values: Dict[str, float] = {}
-        self._last_sent_bounds: Dict[str, float] = {}
         self._sources: Dict[int, object] = {}
 
-        # -- vectorized fast path (bitwise-equal to the scalar one) -----------
-        self._vectorize = bool(vectorize)
-        self._compiled: Dict[str, CompiledPolynomial] = {}
-        self._power_table: Optional[PowerTable] = None
-        self._power_vector: Optional[np.ndarray] = None
-        self._bank: Optional[CompiledQueryBank] = None
-        self._bank_index: Dict[str, int] = {}
-        #: query name -> mutable [plan, missing_ref, breach_count, flags,
-        #: references, widened]; maintained incrementally as items refresh,
-        #: rebuilt whenever the query's plan object changes.
-        self._window_state: Dict[str, list] = {}
-        if self._vectorize:
-            self._power_table = PowerTable()
-            for query in self.queries:
-                self._compiled[query.name] = CompiledPolynomial(
-                    query, self._power_table)
-            self._power_vector = self._power_table.vector(self.cache)
-            self._bank = CompiledQueryBank(
-                [self._compiled[query.name] for query in self.queries])
-            self._bank_index = {query.name: i
-                                for i, query in enumerate(self.queries)}
-
-        self.item_index: Dict[str, List[PolynomialQuery]] = {}
-        for query in self.queries:
-            for name in query.variables:
-                self.item_index.setdefault(name, []).append(query)
-
-        #: Vectorized notification state: per-query QABs and the last
-        #: user-visible values mirrored as arrays (bank order), plus each
-        #: item's affected-query indices, so one masked compare replaces the
-        #: per-query notification loop in ``on_refresh``.
-        self._qab_arr: Optional[np.ndarray] = None
-        self._last_user_arr: Optional[np.ndarray] = None
-        self._affected_idx: Dict[str, np.ndarray] = {}
-        self._item_banks: Dict[str, CompiledQueryBank] = {}
-        if self._vectorize:
-            self._qab_arr = np.array([q.qab for q in self.queries], dtype=float)
-            self._last_user_arr = np.zeros(len(self.queries))
-            self._affected_idx = {
-                name: np.array([self._bank_index[q.name] for q in affected],
-                               dtype=np.intp)
-                for name, affected in self.item_index.items()
-            }
-            # Per-item sub-banks: a refresh of one item only needs the
-            # values of the queries containing it, so evaluating a bank
-            # restricted to those rows does strictly less work than the
-            # full bank while producing bitwise-identical per-query sums.
-            self._item_banks = {
-                name: CompiledQueryBank(
-                    [self._compiled[q.name] for q in affected])
-                for name, affected in self.item_index.items()
-            }
-
-        #: Per-item monotone DAB epoch (incremented on every shipped change).
-        self.epochs: Dict[str, int] = {}
         # -- reliable-delivery state (fault mode only) ------------------------
         self._msg_counter = 0
         #: msg_id -> {"source_id", "bounds", "epochs", "attempt"}
         self._outstanding: Dict[int, Dict[str, Any]] = {}
         # -- staleness leases (fault mode only) -------------------------------
         #: item -> last time a refresh/heartbeat vouched for it.
-        self.last_heard: Dict[str, float] = {name: 0.0 for name in self.item_index}
+        self.last_heard: Dict[str, float] = {name: 0.0 for name in self.core.item_index}
         #: item -> highest refresh sequence number received (gap detection).
         self.last_seq: Dict[str, int] = {}
         #: item -> time it became suspect (lease expired, value re-requested).
@@ -204,6 +135,70 @@ class Coordinator:
         self._source_items: Dict[int, List[str]] = {}
         for name, source_id in self.item_to_source.items():
             self._source_items.setdefault(source_id, []).append(name)
+
+    def _charge_recompute_time(self) -> None:
+        """Core recomputation hook: one solve occupies the busy server."""
+        self.busy_until += self.recompute_delay.sample()
+
+    # -- core delegation ----------------------------------------------------------
+
+    @property
+    def queries(self) -> List[PolynomialQuery]:
+        return self.core.queries
+
+    @property
+    def planner(self) -> object:
+        return self.core.planner
+
+    @property
+    def mode(self) -> RecomputeMode:
+        return self.core.mode
+
+    @property
+    def aao_planner(self) -> Optional[object]:
+        return self.core.aao_planner
+
+    @property
+    def aao_period(self) -> Optional[int]:
+        return self.core.aao_period
+
+    @property
+    def cache(self) -> Dict[str, float]:
+        return self.core.cache
+
+    @property
+    def plans(self) -> Dict[str, DABAssignment]:
+        return self.core.plans
+
+    @property
+    def last_user_values(self) -> Dict[str, float]:
+        return self.core.last_user_values
+
+    @property
+    def epochs(self) -> Dict[str, int]:
+        return self.core.epochs
+
+    @property
+    def item_index(self) -> Dict[str, List[PolynomialQuery]]:
+        return self.core.item_index
+
+    @property
+    def power_table(self) -> PowerTable:
+        """The shared (item, exponent) slot registry (vectorized runs only)."""
+        return self.core.power_table
+
+    def compiled_query(self, query: PolynomialQuery) -> CompiledPolynomial:
+        """The compiled evaluator for ``query`` (vectorized runs only)."""
+        return self.core.compiled_query(query)
+
+    def query_value(self, query: PolynomialQuery) -> float:
+        return self.core.query_value(query)
+
+    def query_values(self) -> List[float]:
+        return self.core.query_values()
+
+    def query_values_array(self) -> np.ndarray:
+        return self.core.query_values_array()
 
     # -- wiring ---------------------------------------------------------------------
 
@@ -218,162 +213,21 @@ class Coordinator:
         """Plan every query at the initial values and seed the sources'
         filters directly (time-zero configuration is assumed in place when
         the paper's observation window starts)."""
-        if self.mode is RecomputeMode.AAO_PERIODIC:
-            multi = self.aao_planner.plan_all(self.queries, self.cache)
-            self.plans = dict(multi.per_query)
-            self.queue.push(Event(float(self.aao_period), EventKind.AAO_PERIODIC))
-        else:
-            for query in self.queries:
-                self.plans[query.name] = self._plan_query(query)
-        for index, query in enumerate(self.queries):
-            value = self.query_value(query)
-            self.last_user_values[query.name] = value
-            if self._last_user_arr is not None:
-                self._last_user_arr[index] = value
-        merged = merge_primary(self.plans.values())
-        self._last_sent_bounds = dict(merged)
+        merged = self.core.bootstrap()
+        if self.core.mode is RecomputeMode.AAO_PERIODIC:
+            self.queue.push(Event(float(self.core.aao_period),
+                                  EventKind.AAO_PERIODIC))
         for source_id, source in self._sources.items():
-            owned = {name: bound for name, bound in merged.items()
-                     if self.item_to_source.get(name) == source_id}
-            source.set_bounds(owned)
+            source.set_bounds(self.core.owned_bounds(merged, source_id))
         if self.faults.enabled:
             interval = self.faults.config.lease_check_interval
             self.queue.push(Event(interval, EventKind.LEASE_CHECK))
 
-    # -- helpers ---------------------------------------------------------------------
-
-    def _values_for(self, query: PolynomialQuery) -> Dict[str, float]:
-        return {name: self.cache[name] for name in query.variables}
-
-    @property
-    def power_table(self) -> PowerTable:
-        """The shared (item, exponent) slot registry (vectorized runs only)."""
-        if self._power_table is None:
-            raise SimulationError("coordinator was built with vectorize=False")
-        return self._power_table
-
-    def compiled_query(self, query: PolynomialQuery) -> CompiledPolynomial:
-        """The compiled evaluator for ``query`` (vectorized runs only)."""
-        return self._compiled[query.name]
-
-    def query_value(self, query: PolynomialQuery) -> float:
-        if self._vectorize:
-            return self._compiled[query.name].evaluate_vector(self._power_vector)
-        return query.evaluate(self.cache)
-
-    def query_values(self) -> List[float]:
-        """Every query's value at the current cache, in ``queries`` order —
-        one banked evaluation on vectorized runs."""
-        if self._vectorize:
-            return self._bank.values_vector(self._power_vector).tolist()
-        return [query.evaluate(self.cache) for query in self.queries]
-
-    def query_values_array(self) -> np.ndarray:
-        """Array form of :meth:`query_values` (vectorized runs only)."""
-        return self._bank.values_vector(self._power_vector)
-
-    def _window_contains(self, query: PolynomialQuery, plan: DABAssignment,
-                         changed_item: Optional[str] = None) -> bool:
-        """``plan.window_contains(self._values_for(query))``, incremental.
-
-        The breach predicate per item — ``|value - ref| > secondary + 1e-12``
-        on the same float64 values — is replayed exactly, but evaluated only
-        when an input actually changes: ``changed_item`` names the one item
-        whose cache value moved since the last check (every refresh of an
-        item checks every query containing it, so flags never go stale), and
-        a plan change rebuilds the query's flags from scratch.  The check
-        itself is then a zero-compare.  Single-DAB plans (``secondary is
-        None``, exact-equality semantics) stay on the scalar path.
-        """
-        if not self._vectorize or plan.secondary is None:
-            return plan.window_contains(self._values_for(query))
-        entry = self._window_state.get(query.name)
-        if entry is not None and entry[0] is plan:
-            if entry[1]:
-                return False
-            if changed_item is not None:
-                flags = entry[3]
-                old = flags.get(changed_item)
-                if old is not None:
-                    breached = (abs(self.cache[changed_item]
-                                    - entry[4][changed_item])
-                                > entry[5][changed_item])
-                    if breached is not old:
-                        flags[changed_item] = breached
-                        entry[2] += 1 if breached else -1
-            return entry[2] == 0
-        variables = set(query.variables)
-        missing = False
-        count = 0
-        flags: Dict[str, bool] = {}
-        references: Dict[str, float] = {}
-        widened: Dict[str, float] = {}
-        for name in plan.primary:
-            if name not in variables:
-                continue
-            reference = plan.reference_values.get(name)
-            if reference is None:
-                missing = True
-                break
-            wide = plan.secondary[name] + 1e-12
-            breached = abs(self.cache[name] - reference) > wide
-            flags[name] = breached
-            count += breached
-            references[name] = reference
-            widened[name] = wide
-        self._window_state[query.name] = [plan, missing, count, flags,
-                                          references, widened]
-        if missing:
-            return False
-        return count == 0
-
-    def _clear_planner_warm_starts(self) -> None:
-        """A recovered source resynced: its items may have drifted
-        arbitrarily far while it was down, so solver warm starts anchored
-        near the pre-crash optimum are stale — drop them before the replan
-        this resync triggers (plan caches stay; they are value-keyed)."""
-        for planner in (self.planner, self.aao_planner):
-            clear = getattr(planner, "clear_warm_starts", None)
-            if clear is not None:
-                clear()
-
-    def _plan_query(self, query: PolynomialQuery) -> DABAssignment:
-        """One guarded GP solve: solver failures degrade, never escape."""
-        try:
-            return self.planner.plan(query, self._values_for(query))
-        except GPError:
-            self.metrics.record_solver_fallback()
-            previous = self.plans.get(query.name)
-            if previous is not None:
-                return previous
-            # Cold start: no valid plan to keep — fall back to the uniform
-            # single-DAB split, which needs no rate information or solver.
-            from repro.filters.baselines import UniformAllocationBaseline
-
-            return UniformAllocationBaseline().plan(query, self._values_for(query))
-
-    def _recompute(self, query: PolynomialQuery) -> None:
-        plan = self._plan_query(query)
-        self.plans[query.name] = plan
-        self.metrics.record_recomputation(query.name)
-        self.busy_until += self.recompute_delay.sample()
+    # -- fanout -----------------------------------------------------------------------
 
     def _fanout_bound_changes(self, time: float) -> None:
         """Ship changed merged DABs to the owning sources."""
-        merged = merge_primary(self.plans.values())
-        changed_by_source: Dict[int, Dict[str, float]] = {}
-        for name, bound in merged.items():
-            previous = self._last_sent_bounds.get(name)
-            if previous is not None and abs(bound - previous) <= _DAB_CHANGE_REL_TOL * previous:
-                continue
-            self._last_sent_bounds[name] = bound
-            self.epochs[name] = self.epochs.get(name, 0) + 1
-            source_id = self.item_to_source.get(name)
-            if source_id is not None:
-                changed_by_source.setdefault(source_id, {})[name] = bound
-        for source_id, bounds in changed_by_source.items():
-            epochs = {name: self.epochs[name] for name in bounds}
-            self.metrics.record_dab_change_messages(1)
+        for source_id, (bounds, epochs) in self.core.changed_bound_updates().items():
             self._send_dab_change(source_id, bounds, epochs, time)
 
     def _send_dab_change(self, source_id: int, bounds: Mapping[str, float],
@@ -434,15 +288,16 @@ class Coordinator:
         lost)."""
         extra = 0.0
         config = self.faults.config
+        cache = self.core.cache
         base = self.query_value(query)
         for name in self.suspect_items_of(query):
             staleness = max(0.0, time - self.suspect_since[name])
-            drift = (config.suspect_drift_rel * max(abs(self.cache[name]), 1e-12)
+            drift = (config.suspect_drift_rel * max(abs(cache[name]), 1e-12)
                      * (1.0 + staleness / config.lease_duration))
-            perturbed = dict(self.cache)
-            perturbed[name] = self.cache[name] + drift
+            perturbed = dict(cache)
+            perturbed[name] = cache[name] + drift
             up = abs(query.evaluate(perturbed) - base)
-            perturbed[name] = self.cache[name] - drift
+            perturbed[name] = cache[name] - drift
             down = abs(query.evaluate(perturbed) - base)
             extra += max(up, down)
         return query.qab + extra
@@ -471,112 +326,28 @@ class Coordinator:
                 self.metrics.record_duplicate_reject()
                 return
             self.last_seq[item] = int(seq)
-        self.cache[item] = float(event.payload["value"])
-        if self._vectorize:
-            self._power_table.update(self._power_vector, item, self.cache[item])
-        self.metrics.record_refresh()
+        self.core.apply_refresh(item, float(event.payload["value"]))
         self._hear_from_item(item, event.time)
         if self.faults.enabled and event.payload.get("resync"):
-            self._clear_planner_warm_starts()
+            self.core.clear_planner_warm_starts()
         if self.rate_tracker is not None:
-            self.rate_tracker.observe(item, self.cache[item], event.time)
+            self.rate_tracker.observe(item, self.core.cache[item], event.time)
 
-        affected = self.item_index.get(item, [])
-        recomputed = False
-        if self._vectorize and affected:
-            # User notification, batched: one sub-bank evaluation gives
-            # every affected query's value (the cache cannot change again
-            # within this event), and one masked compare finds the queries
-            # whose result moved beyond the QAB since the user last saw it.
-            # Notifications draw no randomness, so hoisting them ahead of
-            # the recompute loop leaves the event-stream state untouched.
-            idx = self._affected_idx[item]
-            sub = self._item_banks[item].values_vector(self._power_vector)
-            moved = np.abs(sub - self._last_user_arr[idx]) > self._qab_arr[idx]
-            if moved.any():
-                for pos in np.nonzero(moved)[0].tolist():
-                    bank_pos = int(idx[pos])
-                    value = float(sub[pos])
-                    self.last_user_values[self.queries[bank_pos].name] = value
-                    self._last_user_arr[bank_pos] = value
-                    self.metrics.record_user_notification()
-            if self.mode is RecomputeMode.EVERY_REFRESH:
-                for query in affected:
-                    self._recompute(query)
-                recomputed = True
-            else:
-                # The window check, inlined from ``_window_contains``'s fast
-                # path: only ``item`` moved, so only its breach flag can
-                # have changed since the last check of the same plan.
-                plans = self.plans
-                wstate = self._window_state
-                cache_value = self.cache[item]
-                for query in affected:
-                    plan = plans.get(query.name)
-                    if plan is not None:
-                        entry = wstate.get(query.name)
-                        if entry is not None and entry[0] is plan:
-                            if entry[1]:
-                                contains = False
-                            else:
-                                flags = entry[3]
-                                old = flags.get(item)
-                                if old is not None:
-                                    breached = (abs(cache_value
-                                                    - entry[4][item])
-                                                > entry[5][item])
-                                    if breached is not old:
-                                        flags[item] = breached
-                                        entry[2] += 1 if breached else -1
-                                contains = entry[2] == 0
-                        else:
-                            contains = self._window_contains(query, plan,
-                                                             item)
-                        if contains:
-                            continue
-                    self._recompute(query)
-                    recomputed = True
-        else:
-            for query in affected:
-                # User notification: has the result moved beyond the QAB
-                # since the last value the user saw?
-                value = self.query_value(query)
-                if abs(value - self.last_user_values[query.name]) > query.qab:
-                    self.last_user_values[query.name] = value
-                    self.metrics.record_user_notification()
-
-                if self.mode is RecomputeMode.EVERY_REFRESH:
-                    self._recompute(query)
-                    recomputed = True
-                else:
-                    plan = self.plans.get(query.name)
-                    if plan is None or not self._window_contains(query, plan):
-                        self._recompute(query)
-                        recomputed = True
+        _notifications, recomputed = self.core.react_to_refresh(item)
         if recomputed:
             self._fanout_bound_changes(event.time)
 
     def on_aao_periodic(self, event: Event) -> None:
-        """Full joint recomputation on the AAO-T schedule.
-
-        One AAO solve is counted as a single recomputation (it is one
-        coordinated DAB change, whose larger fanout is folded into μ, as in
-        the paper's accounting for Figure 7)."""
-        try:
-            multi = self.aao_planner.plan_all(self.queries, self.cache)
-        except GPError:
-            # Keep serving on the previous joint plan; try again next period.
-            self.metrics.record_solver_fallback()
-        else:
-            self.plans = dict(multi.per_query)
-            self.metrics.record_recomputation("__aao__")
+        """Full joint recomputation on the AAO-T schedule."""
+        self.core.aao_replan()
         # A joint solve occupies the coordinator roughly per-query as long
         # as a single-query solve (the paper: 600-750 ms for 10 PPQs).
         self.busy_until = max(self.busy_until, event.time)
-        for _ in self.queries:
+        for _ in self.core.queries:
             self.busy_until += self.recompute_delay.sample()
         self._fanout_bound_changes(event.time)
-        self.queue.push(Event(event.time + self.aao_period, EventKind.AAO_PERIODIC))
+        self.queue.push(Event(event.time + self.core.aao_period,
+                              EventKind.AAO_PERIODIC))
 
     def on_dab_change(self, event: Event) -> None:
         source = self._sources.get(event.payload["source_id"])
@@ -648,7 +419,7 @@ class Coordinator:
         """Expire leases, mark items suspect, and re-request their values."""
         config = self.faults.config
         time = event.time
-        for name in self.item_index:
+        for name in self.core.item_index:
             if name in self.suspect_since:
                 # Accumulate exposure since the last accounting and keep
                 # probing until the source answers.

@@ -37,11 +37,18 @@ class TestFastExamples:
         assert "most renegotiable bound" in out
         assert "predicted objective change" in out
 
+    def test_live_portfolio_service(self, capsys):
+        out = run_example("live_portfolio_service.py", capsys)
+        assert "coordinator: " in out
+        assert "refreshes crossed the wire" in out
+        assert "QAB guarantee holds? True" in out
+
 
 class TestExamplesExist:
     @pytest.mark.parametrize("name", [
         "quickstart.py", "global_portfolio.py", "arbitrage_monitor.py",
         "oil_spill_tracking.py", "threshold_alert.py", "qab_negotiation.py",
+        "live_portfolio_service.py",
     ])
     def test_present_and_has_main(self, name):
         source = (EXAMPLES / name).read_text()

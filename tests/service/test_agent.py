@@ -1,0 +1,196 @@
+"""SourceAgent: DAB filtering, epoch guards, reconnect-with-resync."""
+
+import asyncio
+
+import pytest
+
+from repro.service import protocol
+from repro.service.agent import SourceAgent, agents_for_scenario
+from repro.service.server import build_scenario_server
+from repro.service.transports import TransportClosed
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_agent(**kwargs):
+    defaults = dict(source_id=0, items=["x0", "x1"],
+                    initial_values={"x0": 10.0, "x1": 20.0})
+    defaults.update(kwargs)
+    return SourceAgent(**defaults)
+
+
+class TestDabFilter:
+    def test_unbounded_items_forward_everything(self):
+        agent = make_agent()
+        messages = agent.pending_refreshes({"x0": 10.5})
+        assert len(messages) == 1       # fail-safe: no bound yet, forward
+
+    def test_in_window_ticks_are_filtered(self):
+        agent = make_agent()
+        agent.apply_dab_update({"x0": 2.0, "x1": 2.0}, {"x0": 1, "x1": 1})
+        assert agent.pending_refreshes({"x0": 11.0}) == []     # |11-10| <= 2
+        assert agent.stats["refreshes_filtered"] == 1
+        messages = agent.pending_refreshes({"x0": 13.5})       # escape
+        assert len(messages) == 1
+        assert messages[0]["seq"] == 1
+        assert messages[0]["value"] == 13.5
+        # The window recentres on the sent value.
+        assert agent.sent_values["x0"] == 13.5
+        assert agent.pending_refreshes({"x0": 14.0}) == []
+
+    def test_seq_increments_per_item(self):
+        agent = make_agent()
+        first = agent.pending_refreshes({"x0": 100.0})[0]
+        second = agent.pending_refreshes({"x0": 200.0})[0]
+        other = agent.pending_refreshes({"x1": 99.0})[0]
+        assert (first["seq"], second["seq"]) == (1, 2)
+        assert other["seq"] == 1
+
+    def test_unknown_items_ignored(self):
+        agent = make_agent()
+        assert agent.pending_refreshes({"zz": 1.0}) == []
+
+    def test_missing_initial_value_rejected(self):
+        with pytest.raises(Exception, match="no initial value"):
+            SourceAgent(0, ["x0"], {})
+
+
+class TestEpochGuard:
+    def test_stale_epoch_dab_update_rejected(self):
+        agent = make_agent()
+        agent.apply_dab_update({"x0": 1.0}, {"x0": 5})
+        agent.apply_dab_update({"x0": 9.0}, {"x0": 4})     # stale: ignored
+        agent.apply_dab_update({"x0": 9.0}, {"x0": 5})     # duplicate: ignored
+        assert agent.bounds["x0"] == 1.0
+        assert agent.stats["dab_updates_rejected_stale_epoch"] == 2
+        agent.apply_dab_update({"x0": 3.0}, {"x0": 6})     # newer: applied
+        assert agent.bounds["x0"] == 3.0
+
+    def test_reordered_updates_are_idempotent(self):
+        agent = make_agent()
+        # Delivery order 2, 1 — the newer bound must win regardless.
+        agent.apply_dab_update({"x0": 0.5}, {"x0": 2})
+        agent.apply_dab_update({"x0": 4.0}, {"x0": 1})
+        assert agent.bounds["x0"] == 0.5
+
+
+class TestLiveAgent:
+    def test_connect_applies_registration_dabs(self):
+        server, scenario, item_to_source = build_scenario_server(
+            query_count=4, item_count=20, source_count=2, trace_length=41,
+            seed=1)
+        agents = agents_for_scenario(scenario, item_to_source)
+
+        async def body():
+            agent = agents[0]
+            await agent.connect(server.connect_loopback())
+            for _ in range(50):
+                if agent.bounds:
+                    break
+                await asyncio.sleep(0.01)
+            assert sorted(agent.bounds) == sorted(agent.items)
+            assert agent.stats["dab_updates_applied"] == len(agent.items)
+            await agent.close()
+            await server.close()
+
+        run(body())
+
+    def test_tick_while_disconnected_raises(self):
+        agent = make_agent()
+
+        async def body():
+            with pytest.raises(TransportClosed, match="disconnected"):
+                await agent.tick({"x0": 1000.0})
+
+        run(body())
+
+    def test_reconnect_resyncs_and_resumes_seq(self):
+        server, scenario, item_to_source = build_scenario_server(
+            query_count=4, item_count=20, source_count=2, trace_length=41,
+            seed=1)
+        agents = agents_for_scenario(scenario, item_to_source)
+
+        async def body():
+            agent = agents[0]
+            item = agent.items[0]
+            await agent.connect(server.connect_loopback())
+            sent = await agent.tick({item: agent.values[item] * 10})
+            assert sent == 1
+
+            # Connection drops; the agent reconnects and re-registers.
+            old_stream = agent._stream
+            await agent.connect(server.connect_loopback())
+            assert agent.stats["reconnects"] == 1
+            assert old_stream.closed
+
+            sent = await agent.tick({item: agent.values[item] * 10})
+            assert sent == 1
+            # Sync point: a snapshot round trip on the agent's stream
+            # guarantees the server consumed the refresh first.
+            await agent._stream.send(protocol.snapshot())
+            for _ in range(100):
+                if server.stats["refreshes_accepted"] == 2:
+                    break
+                await asyncio.sleep(0.01)
+            assert server.stats["refreshes_accepted"] == 2
+            assert server.last_seq[item] == 2          # seq continued, no reset
+            await agent.close()
+            await server.close()
+
+        run(body())
+
+    def test_post_reconnect_refresh_flags_resync(self):
+        agent = make_agent()
+
+        async def body():
+            from repro.service.transports import loopback_pair
+
+            first_client, _ = loopback_pair()
+            await agent.connect(first_client)
+            agent.pending_refreshes({"x0": 100.0})
+            second_client, _ = loopback_pair()
+            await agent.connect(second_client)
+            (message,) = agent.pending_refreshes({"x0": 200.0})
+            assert message["resync"] is True
+            (message,) = agent.pending_refreshes({"x0": 300.0})
+            assert "resync" not in message             # one-shot flag
+            await agent.close()
+
+        run(body())
+
+
+class TestScenarioAgents:
+    def test_agents_partition_the_items(self):
+        server, scenario, item_to_source = build_scenario_server(
+            query_count=4, item_count=20, source_count=2, trace_length=41,
+            seed=1)
+        agents = agents_for_scenario(scenario, item_to_source)
+        assert set(agents) == set(item_to_source.values())
+        claimed = [item for agent in agents.values() for item in agent.items]
+        assert sorted(claimed) == sorted(item_to_source)
+
+    def test_replay_pushes_only_violations(self):
+        server, scenario, item_to_source = build_scenario_server(
+            query_count=4, item_count=20, source_count=2, trace_length=41,
+            seed=1)
+        agents = agents_for_scenario(scenario, item_to_source)
+
+        async def body():
+            agent = agents[0]
+            await agent.connect(server.connect_loopback())
+            # Give the registration DAB_UPDATE time to arrive: otherwise
+            # the fail-safe forwards everything and nothing is filtered.
+            for _ in range(50):
+                if agent.bounds:
+                    break
+                await asyncio.sleep(0.01)
+            sent = await agent.replay(scenario.traces, max_steps=30)
+            assert sent == agent.stats["refreshes_sent"]
+            assert agent.stats["ticks"] == 30 * len(agent.items)
+            assert agent.stats["refreshes_filtered"] > 0
+            await agent.close()
+            await server.close()
+
+        run(body())

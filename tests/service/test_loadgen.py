@@ -1,0 +1,45 @@
+"""The load generator, in process: full N x M run plus the QAB audit."""
+
+import json
+
+from repro.service.loadgen import run_loadgen
+
+
+def test_loadgen_in_process(tmp_path):
+    output = tmp_path / "BENCH_service.json"
+    report = run_loadgen(sources=3, queries=6, items=20, duration=15,
+                         subscribers=2, seed=2, output=str(output))
+
+    assert report["transport"] == "loopback"
+    assert report["sources"] == 3
+    assert report["subscribers"] == 2
+    assert report["ticks"] == 15 * report["items"]
+    assert report["ticks_per_second"] > 0
+    assert report["refreshes_sent"] + report["refreshes_filtered"] == report["ticks"]
+    # The headline guarantee: zero QAB violations, fault-free.
+    assert report["qab_violations"] == 0
+    assert report["server_stats"]["refreshes"] == report["refreshes_sent"]
+
+    written = json.loads(output.read_text())
+    assert written["qab_violations"] == 0
+    assert written["ticks"] == report["ticks"]
+
+
+def test_loadgen_latency_percentiles_present():
+    report = run_loadgen(sources=2, queries=8, items=20, duration=25,
+                         subscribers=1, seed=4)
+    assert report["qab_violations"] == 0
+    if report["latency_samples"]:
+        latency = report["notify_latency_seconds"]
+        assert set(latency) == {"p50", "p95", "p99"}
+        assert latency["p50"] <= latency["p95"] <= latency["p99"]
+
+
+def test_latency_percentile_helper():
+    from repro.service.client import latency_percentiles
+
+    assert latency_percentiles([]) == {}
+    samples = [float(i) for i in range(100)]
+    out = latency_percentiles(samples)
+    assert out["p50"] == 50.0 or abs(out["p50"] - 49.0) <= 1.0
+    assert out["p99"] >= out["p95"] >= out["p50"]

@@ -1,0 +1,257 @@
+"""End-to-end service tests over the in-process loopback transport.
+
+Real protocol bytes, real FrameDecoder, no sockets — the CI-safe half of
+the transport matrix (the TCP smoke test lives in ``test_tcp_smoke.py``).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service import protocol
+from repro.service.protocol import MessageType, PROTOCOL_VERSION
+from repro.service.server import _Subscriber, build_scenario_server
+from repro.service.transports import loopback_pair
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture()
+def scenario_server():
+    server, scenario, item_to_source = build_scenario_server(
+        query_count=4, item_count=20, source_count=2, trace_length=41, seed=1)
+    return server, scenario, item_to_source
+
+
+def owned_items(item_to_source, source_id):
+    return sorted(n for n, s in item_to_source.items() if s == source_id)
+
+
+async def registered_stream(server, scenario, item_to_source, source_id=0):
+    stream = server.connect_loopback()
+    await stream.send(protocol.register_source(
+        source_id, owned_items(item_to_source, source_id)))
+    reply = await stream.receive()
+    assert reply["type"] == MessageType.DAB_UPDATE.value
+    return stream, reply
+
+
+class TestSourcePlane:
+    def test_register_replies_with_current_dabs(self, scenario_server):
+        server, scenario, item_to_source = scenario_server
+
+        async def body():
+            stream, reply = await registered_stream(
+                server, scenario, item_to_source, source_id=0)
+            owned = owned_items(item_to_source, 0)
+            assert sorted(reply["bounds"]) == owned
+            assert all(bound > 0 for bound in reply["bounds"].values())
+            assert sorted(reply["epochs"]) == owned
+            await server.close()
+
+        run(body())
+
+    def test_refresh_updates_cache_and_notifies_subscriber(self, scenario_server):
+        server, scenario, item_to_source = scenario_server
+
+        async def body():
+            stream, reply = await registered_stream(
+                server, scenario, item_to_source, source_id=0)
+            sub_stream = server.connect_loopback()
+            await sub_stream.send(protocol.query_sub("*"))
+            snapshot = await sub_stream.receive()
+            assert snapshot["type"] == MessageType.SNAPSHOT.value
+            assert len(snapshot["values"]) == len(scenario.queries)
+
+            item = owned_items(item_to_source, 0)[0]
+            old = server.core.cache[item]
+            await stream.send(protocol.refresh(0, item, old * 10.0, seq=1))
+            notify = await asyncio.wait_for(sub_stream.receive(), timeout=5)
+            assert notify["type"] == MessageType.NOTIFY.value
+            assert notify["updates"]
+            assert server.core.cache[item] == old * 10.0
+            await server.close()
+
+        run(body())
+
+    def test_duplicate_and_stale_refresh_seq_rejected(self, scenario_server):
+        server, scenario, item_to_source = scenario_server
+
+        async def body():
+            stream, _ = await registered_stream(
+                server, scenario, item_to_source, source_id=0)
+            item = owned_items(item_to_source, 0)[0]
+            await stream.send(protocol.refresh(0, item, 100.0, seq=5))
+            await stream.send(protocol.refresh(0, item, 200.0, seq=5))  # dup
+            await stream.send(protocol.refresh(0, item, 300.0, seq=4))  # stale
+            # A snapshot round trip orders us after the three refreshes
+            # (the first refresh may push a DAB_UPDATE at us on the way).
+            await stream.send(protocol.snapshot())
+            while True:
+                reply = await stream.receive()
+                if reply["type"] == MessageType.SNAPSHOT.value:
+                    break
+            assert server.core.cache[item] == 100.0
+            assert server.stats["refreshes_accepted"] == 1
+            assert server.stats["refreshes_rejected_stale_seq"] == 2
+            assert server.metrics.duplicate_rejects == 2
+            await server.close()
+
+        run(body())
+
+    def test_reregister_takes_over_the_source(self, scenario_server):
+        server, scenario, item_to_source = scenario_server
+
+        async def body():
+            first, _ = await registered_stream(
+                server, scenario, item_to_source, source_id=0)
+            second, reply = await registered_stream(
+                server, scenario, item_to_source, source_id=0)
+            assert server.stats["sources_registered"] == 2
+            # The old stream was displaced; the new one owns the source.
+            assert server._source_streams[0] is not first
+            await server.close()
+
+        run(body())
+
+    def test_unknown_item_refresh_counts_as_misrouted(self, scenario_server):
+        server, scenario, item_to_source = scenario_server
+
+        async def body():
+            stream, _ = await registered_stream(
+                server, scenario, item_to_source, source_id=0)
+            await stream.send(protocol.refresh(0, "not-an-item", 1.0, seq=1))
+            await stream.send(protocol.snapshot())
+            await stream.receive()
+            assert server.stats["refreshes_accepted"] == 0
+            assert server.metrics.misrouted_bounds >= 1
+            await server.close()
+
+        run(body())
+
+
+class TestProtocolPolicing:
+    def test_unknown_message_type_gets_error_reply(self, scenario_server):
+        server, _, _ = scenario_server
+
+        async def body():
+            stream = server.connect_loopback()
+            await stream.send({"v": PROTOCOL_VERSION, "type": "teleport"})
+            reply = await stream.receive()
+            assert reply["type"] == MessageType.ERROR.value
+            assert "unknown message type" in reply["reason"]
+            # The server hangs up after a protocol error.
+            assert await stream.receive() is None
+            assert server.stats["protocol_errors"] == 1
+            await server.close()
+
+        run(body())
+
+    def test_version_mismatch_rejected(self, scenario_server):
+        server, _, _ = scenario_server
+
+        async def body():
+            stream = server.connect_loopback()
+            await stream.send({"v": 999, "type": "snapshot"})
+            reply = await stream.receive()
+            assert reply["type"] == MessageType.ERROR.value
+            assert "version mismatch" in reply["reason"]
+            await server.close()
+
+        run(body())
+
+    def test_server_to_client_types_rejected_inbound(self, scenario_server):
+        server, _, _ = scenario_server
+
+        async def body():
+            stream = server.connect_loopback()
+            await stream.send(protocol.notify([{"query": "q", "value": 1.0}]))
+            reply = await stream.receive()
+            assert reply["type"] == MessageType.ERROR.value
+            await server.close()
+
+        run(body())
+
+
+class TestBackpressure:
+    def test_slow_consumer_is_evicted(self, scenario_server):
+        server, scenario, item_to_source = scenario_server
+
+        async def body():
+            # A subscriber whose writer never drains (as if its TCP window
+            # were jammed): the bounded queue fills, then eviction.
+            client_end, server_end = loopback_pair()
+            sub = _Subscriber(99, server_end, None, limit=2)
+            server._subscribers[99] = sub
+            updates = [("q", 1.0)]
+            for _ in range(2):
+                server._fanout_notifications(updates, None)
+            assert 99 in server._subscribers          # queue full, not over
+            server._fanout_notifications(updates, None)
+            assert 99 not in server._subscribers      # evicted
+            assert server.stats["slow_consumer_evictions"] == 1
+            assert sub.stream.closed
+            await server.close()
+
+        run(body())
+
+    def test_healthy_subscribers_survive_fanout_bursts(self, scenario_server):
+        server, scenario, item_to_source = scenario_server
+
+        async def body():
+            stream, _ = await registered_stream(
+                server, scenario, item_to_source, source_id=0)
+            sub_stream = server.connect_loopback()
+            await sub_stream.send(protocol.query_sub("*"))
+            await sub_stream.receive()                # snapshot
+            item = owned_items(item_to_source, 0)[0]
+            value = server.core.cache[item]
+            for seq in range(1, 31):
+                value *= 1.5
+                await stream.send(protocol.refresh(0, item, value, seq=seq))
+            received = 0
+            while True:
+                try:
+                    message = await asyncio.wait_for(sub_stream.receive(),
+                                                     timeout=0.5)
+                except asyncio.TimeoutError:
+                    break
+                if message is None:
+                    break
+                received += message["type"] == MessageType.NOTIFY.value
+            assert received > 0
+            assert server.stats["slow_consumer_evictions"] == 0
+            await server.close()
+
+        run(body())
+
+
+class TestSnapshots:
+    def test_snapshot_carries_values_and_stats(self, scenario_server):
+        server, scenario, _ = scenario_server
+
+        async def body():
+            stream = server.connect_loopback()
+            await stream.send(protocol.snapshot())
+            reply = await stream.receive()
+            assert reply["type"] == MessageType.SNAPSHOT.value
+            assert set(reply["values"]) == {q.name for q in scenario.queries}
+            assert reply["stats"]["queries"] == len(scenario.queries)
+            await server.close()
+
+        run(body())
+
+    def test_query_sub_filters_to_requested_queries(self, scenario_server):
+        server, scenario, _ = scenario_server
+
+        async def body():
+            wanted = scenario.queries[0].name
+            stream = server.connect_loopback()
+            await stream.send(protocol.query_sub([wanted, "no-such-query"]))
+            snapshot = await stream.receive()
+            assert set(snapshot["values"]) == {wanted}
+            await server.close()
+
+        run(body())

@@ -1,0 +1,132 @@
+"""Framing and message-validation edge cases for the wire protocol."""
+
+import json
+import struct
+
+import pytest
+
+from repro.service import protocol
+from repro.service.protocol import (
+    HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    MessageType,
+    ProtocolError,
+    encode_frame,
+    validate_message,
+)
+
+
+def frame_of(message):
+    return encode_frame(message)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = protocol.refresh(3, "x7", 41.5, 12)
+        decoder = FrameDecoder()
+        (decoded,) = decoder.feed(frame_of(message))
+        assert decoded == message
+
+    def test_partial_frames_buffer_across_feeds(self):
+        message = protocol.heartbeat(1, {"x0": 4, "x1": 9})
+        data = frame_of(message)
+        decoder = FrameDecoder()
+        # Byte-at-a-time delivery: nothing until the last byte lands.
+        for byte_index in range(len(data) - 1):
+            assert decoder.feed(data[byte_index:byte_index + 1]) == []
+        (decoded,) = decoder.feed(data[-1:])
+        assert decoded == message
+
+    def test_header_split_across_feeds(self):
+        message = protocol.error("boom")
+        data = frame_of(message)
+        decoder = FrameDecoder()
+        assert decoder.feed(data[:2]) == []           # half the length prefix
+        assert decoder.feed(data[2:HEADER_BYTES]) == []
+        (decoded,) = decoder.feed(data[HEADER_BYTES:])
+        assert decoded == message
+
+    def test_multiple_frames_in_one_feed(self):
+        first = protocol.refresh(0, "x0", 1.0, 1)
+        second = protocol.refresh(0, "x0", 2.0, 2)
+        decoder = FrameDecoder()
+        assert decoder.feed(frame_of(first) + frame_of(second)) == [first, second]
+
+    def test_oversized_frame_rejected_before_buffering(self):
+        decoder = FrameDecoder(max_frame_bytes=64)
+        header = struct.pack(">I", 65)
+        with pytest.raises(ProtocolError, match="65-byte frame"):
+            decoder.feed(header)
+        assert decoder.buffered_bytes <= HEADER_BYTES
+
+    def test_oversized_outgoing_frame_rejected(self):
+        huge = protocol.error("x" * 200)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame(huge, max_frame_bytes=64)
+
+    def test_default_limit_is_one_mebibyte(self):
+        assert MAX_FRAME_BYTES == 1 << 20
+
+    def test_undecodable_body_poisons_decoder(self):
+        decoder = FrameDecoder()
+        body = b"\xff\xfe not json"
+        with pytest.raises(ProtocolError, match="undecodable"):
+            decoder.feed(struct.pack(">I", len(body)) + body)
+        # Poisoned: even a perfectly good frame is refused now.
+        with pytest.raises(ProtocolError, match="close the connection"):
+            decoder.feed(frame_of(protocol.error("fine")))
+
+    def test_non_object_body_rejected(self):
+        body = json.dumps([1, 2, 3]).encode()
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decoder.feed(struct.pack(">I", len(body)) + body)
+
+
+class TestValidation:
+    def test_unknown_message_type(self):
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            validate_message({"v": PROTOCOL_VERSION, "type": "teleport"})
+
+    def test_version_mismatch(self):
+        good = protocol.heartbeat(0, {})
+        bad = dict(good, v=PROTOCOL_VERSION + 1)
+        with pytest.raises(ProtocolError, match="version mismatch"):
+            validate_message(bad)
+        with pytest.raises(ProtocolError, match="version mismatch"):
+            validate_message({"type": "heartbeat"})      # version absent
+
+    def test_missing_required_fields(self):
+        partial = {"v": PROTOCOL_VERSION, "type": "refresh", "item": "x0"}
+        with pytest.raises(ProtocolError, match="missing fields"):
+            validate_message(partial)
+
+    def test_every_constructor_validates(self):
+        messages = [
+            protocol.register_source(2, ["x1", "x0"]),
+            protocol.refresh(2, "x0", 3.5, 7, resync=True, sent_at=1.0),
+            protocol.dab_update(2, {"x0": 0.5}, {"x0": 3}),
+            protocol.heartbeat(2, {"x0": 7}),
+            protocol.query_sub(["q1", "q0"]),
+            protocol.query_sub(),
+            protocol.notify([{"query": "q0", "value": 9.0}], sent_at=2.0),
+            protocol.snapshot(),
+            protocol.snapshot(values={"q0": 9.0}, stats={"refreshes": 1}),
+            protocol.error("nope"),
+        ]
+        for message in messages:
+            kind = validate_message(message)
+            assert isinstance(kind, MessageType)
+            # And each survives a framing round trip unchanged.
+            (decoded,) = FrameDecoder().feed(encode_frame(message))
+            assert decoded == message
+
+    def test_register_source_sorts_items(self):
+        assert protocol.register_source(0, ["b", "a"])["items"] == ["a", "b"]
+
+    def test_nan_values_refused_at_encode_time(self):
+        message = protocol.refresh(0, "x0", float("nan"), 1)
+        with pytest.raises(ValueError):
+            encode_frame(message)

@@ -1,0 +1,97 @@
+"""One real-TCP smoke test: localhost, ephemeral port.
+
+Everything else in the service suite runs on the loopback transport; this
+test proves the same server/agent/client stack holds together over actual
+sockets.  Deselect with ``-m "not network"`` in environments that forbid
+even localhost listeners.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service import protocol
+from repro.service.agent import agents_for_scenario
+from repro.service.client import ServiceClient
+from repro.service.protocol import MessageType
+from repro.service.server import build_scenario_server
+from repro.service.transports import open_tcp_stream
+
+
+@pytest.mark.network
+def test_tcp_end_to_end():
+    server, scenario, item_to_source = build_scenario_server(
+        query_count=4, item_count=20, source_count=2, trace_length=61, seed=3)
+
+    async def body():
+        host, port = await server.serve_tcp("127.0.0.1", 0)
+        assert port != 0
+
+        agents = agents_for_scenario(scenario, item_to_source,
+                                     timestamp_refreshes=True)
+        for agent in agents.values():
+            await agent.connect(await open_tcp_stream(host, port))
+
+        client = ServiceClient(await open_tcp_stream(host, port))
+        snapshot = await client.subscribe("*")
+        assert len(snapshot) == len(scenario.queries)
+
+        for agent in agents.values():
+            await agent.replay(scenario.traces, max_steps=40)
+        await asyncio.sleep(0.2)                      # let notifies drain
+
+        # Served values stay inside every query's accuracy bound of the
+        # ground truth at the agents' current values.
+        truth = {}
+        for agent in agents.values():
+            truth.update(agent.values)
+        served = await client.request_snapshot()
+        for query in scenario.queries:
+            error = abs(served[query.name] - query.evaluate(truth))
+            assert error <= query.qab * (1 + 1e-9) + 1e-12
+
+        assert server.stats["refreshes_accepted"] > 0
+        await client.close()
+        for agent in agents.values():
+            await agent.close()
+        await server.close()
+
+    asyncio.run(body())
+
+
+@pytest.mark.network
+def test_tcp_rejects_garbage_frames():
+    server, _, _ = build_scenario_server(
+        query_count=2, item_count=20, source_count=1, trace_length=41, seed=3)
+
+    async def body():
+        host, port = await server.serve_tcp("127.0.0.1", 0)
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(b"\xff\xff\xff\xff")             # 4 GiB frame announced
+        await writer.drain()
+        # The server answers with an ERROR frame, then hangs up.
+        stream_closed = await asyncio.wait_for(reader.read(4096), timeout=5)
+        assert stream_closed                           # got the error frame
+        assert await asyncio.wait_for(reader.read(4096), timeout=5) == b""
+        writer.close()
+        assert server.stats["protocol_errors"] == 1
+        await server.close()
+
+    asyncio.run(body())
+
+
+@pytest.mark.network
+def test_tcp_unknown_type_gets_error():
+    server, _, _ = build_scenario_server(
+        query_count=2, item_count=20, source_count=1, trace_length=41, seed=3)
+
+    async def body():
+        host, port = await server.serve_tcp("127.0.0.1", 0)
+        stream = await open_tcp_stream(host, port)
+        await stream.send({"v": protocol.PROTOCOL_VERSION, "type": "warp"})
+        reply = await asyncio.wait_for(stream.receive(), timeout=5)
+        assert reply["type"] == MessageType.ERROR.value
+        stream.close()
+        await server.close()
+
+    asyncio.run(body())
