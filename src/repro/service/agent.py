@@ -15,9 +15,13 @@ Semantics carried over from the simulator (and its fault suite):
   monotonically increasing ``seq`` so the coordinator can reject
   duplicates and detect gaps from heartbeats;
 * **reconnect-with-resync** — after a connection drop the agent
-  re-registers, the coordinator re-programs its current bounds in the
-  registration reply, and the agent marks its next refresh per item
-  ``resync=True`` so the coordinator drops stale warm-starts.
+  re-registers, the coordinator re-programs its current bounds (and its
+  accepted-seq high-water marks) in the registration reply, and the agent
+  *force-resends* every item's current value on its next tick with
+  ``resync=True`` — unconditionally, not just on a DAB violation, because
+  a refresh whose send failed has already recentred ``sent_values`` and
+  would otherwise never be retried (the coordinator would keep serving
+  the stale value forever).
 
 The agent is transport-agnostic: ``run`` drives a real TCP connection,
 ``run_on_stream`` drives any :class:`MessageStream` (loopback included).
@@ -81,8 +85,16 @@ class SourceAgent:
     # -- DAB handling (mirrors SourceNode.set_bounds) -----------------------------
 
     def apply_dab_update(self, bounds: Mapping[str, float],
-                         epochs: Mapping[str, Any]) -> None:
-        """Adopt new primary DABs, item by item, newest epoch wins."""
+                         epochs: Mapping[str, Any],
+                         seqs: Optional[Mapping[str, Any]] = None) -> None:
+        """Adopt new primary DABs, item by item, newest epoch wins.
+
+        ``seqs`` (present in the registration reply) floors our per-item
+        refresh counters at the server's accepted high-water marks: a
+        restarted process whose counters are back at 0 would otherwise
+        have every refresh rejected as a stale duplicate until it climbed
+        past the previous incarnation's numbering.
+        """
         for name, bound in bounds.items():
             if name not in self.values:
                 continue        # misrouted — not ours to filter
@@ -93,6 +105,10 @@ class SourceAgent:
             self.epochs[name] = epoch
             self.bounds[name] = float(bound)
             self.stats["dab_updates_applied"] += 1
+        if seqs:
+            for name, floor in seqs.items():
+                if name in self.seq:
+                    self.seq[name] = max(self.seq[name], int(floor))
 
     def _violates(self, item: str) -> bool:
         bound = self.bounds.get(item)
@@ -110,6 +126,12 @@ class SourceAgent:
 
         This is the pure (transport-free) half of a tick, so tests can
         exercise the filter without any I/O.
+
+        An item in ``_resync_pending`` is sent *unconditionally*, DAB or
+        no DAB: after a reconnect, ``sent_values`` may hold a value whose
+        send failed mid-flight — the filter would judge the retried value
+        in-window against it and silently drop the refresh the
+        coordinator never received.
         """
         messages: List[Dict[str, Any]] = []
         for item, value in updates.items():
@@ -117,14 +139,15 @@ class SourceAgent:
                 continue
             self.values[item] = float(value)
             self.stats["ticks"] += 1
-            if not self._violates(item):
+            resync = item in self._resync_pending
+            if not resync and not self._violates(item):
                 self.stats["refreshes_filtered"] += 1
                 continue
             self.seq[item] += 1
             self.sent_values[item] = self.values[item]
             messages.append(protocol.refresh(
                 self.source_id, item, self.values[item], self.seq[item],
-                resync=item in self._resync_pending,
+                resync=resync,
                 sent_at=self.clock() if self.timestamp_refreshes else None,
             ))
             self._resync_pending.discard(item)
@@ -146,8 +169,19 @@ class SourceAgent:
 
     # -- connection lifecycle -------------------------------------------------------
 
-    async def connect(self, stream: MessageStream) -> None:
-        """Register on ``stream`` and start applying inbound DAB updates."""
+    async def connect(self, stream: MessageStream,
+                      register_timeout: float = 5.0) -> None:
+        """Register on ``stream`` and start applying inbound DAB updates.
+
+        The registration reply (a ``DAB_UPDATE`` carrying current bounds,
+        epochs and the server's accepted-seq high-water marks) is consumed
+        *before* this returns: a tick racing ahead of it would both
+        forward unfiltered values and — after a process restart — number
+        its refreshes below the server's dedup guard.  If no reply lands
+        within ``register_timeout`` seconds the agent proceeds fail-safe
+        (no bounds → forward everything) and the listener applies the
+        reply whenever it arrives.
+        """
         if self._stream is not None:
             self.stats["reconnects"] += 1
             self._resync_pending = set(self.items)
@@ -155,6 +189,23 @@ class SourceAgent:
             self._stream.close()
         self._stream = stream
         await stream.send(protocol.register_source(self.source_id, self.items))
+        try:
+            reply = await asyncio.wait_for(stream.receive(), register_timeout)
+        except (asyncio.TimeoutError, TransportClosed):
+            reply = None
+        if reply is not None:
+            try:
+                kind = protocol.validate_message(reply)
+            except ProtocolError:
+                kind = None
+            if kind is MessageType.DAB_UPDATE:
+                self.apply_dab_update(reply["bounds"], reply["epochs"],
+                                      reply.get("seqs"))
+            elif kind is MessageType.ERROR:
+                stream.close()
+                self._stream = None
+                raise ProtocolError(
+                    f"registration rejected: {reply.get('reason')}")
         self._listener = asyncio.ensure_future(self._listen(stream))
         if self.heartbeat_interval:
             self._heartbeat_task = asyncio.ensure_future(self._heartbeats())
@@ -170,7 +221,8 @@ class SourceAgent:
                 except ProtocolError:
                     return
                 if kind is MessageType.DAB_UPDATE:
-                    self.apply_dab_update(message["bounds"], message["epochs"])
+                    self.apply_dab_update(message["bounds"], message["epochs"],
+                                          message.get("seqs"))
                 elif kind is MessageType.ERROR:
                     return
         except (ProtocolError, asyncio.CancelledError):
@@ -221,7 +273,10 @@ class SourceAgent:
         ``reconnect``, if given, is an async factory returning a fresh
         connected :class:`MessageStream`; on a transport drop mid-replay
         the agent reconnects through it (re-registering, resyncing) and
-        resumes from the step that failed.
+        retries the step that failed — every item is then force-resent
+        (``resync=True``), so a refresh whose send died on the old
+        connection is re-delivered even though the local filter state had
+        already recentred on it.
         """
         lengths = [len(traces[item]) for item in self.items]
         last = min(lengths) if lengths else 0

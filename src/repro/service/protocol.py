@@ -23,7 +23,10 @@ recovery semantics proven there carry over to the wire:
 ``DAB_UPDATE``       server → source: new primary DABs, each with its
                      per-item monotone *epoch* — a source applies a bound
                      only if the epoch is newer than the one it holds, so
-                     in-flight reorder and duplicates are idempotent
+                     in-flight reorder and duplicates are idempotent; the
+                     registration reply additionally carries ``seqs``,
+                     the server's accepted refresh high-water marks, so a
+                     restarted source resumes seq numbering above them
 ``HEARTBEAT``        a source's liveness beacon carrying per-item refresh
                      seq numbers (lost-refresh gap detection)
 ``QUERY_SUB``        a client subscribes to query-result notifications
@@ -42,8 +45,9 @@ from __future__ import annotations
 
 import enum
 import json
+import math
 import struct
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.exceptions import ReproError
 
@@ -57,6 +61,13 @@ MAX_FRAME_BYTES = 1 << 20
 
 _HEADER = struct.Struct(">I")
 HEADER_BYTES = _HEADER.size
+
+
+def _reject_constant(token: str) -> float:
+    # ``encode_frame`` refuses NaN/Infinity (allow_nan=False); mirror that
+    # on decode — ``json.loads`` would happily parse them otherwise, and a
+    # NaN value poisons caches silently downstream.
+    raise ValueError(f"non-finite JSON constant {token!r} is not allowed")
 
 
 class ProtocolError(ReproError):
@@ -81,16 +92,68 @@ class MessageType(enum.Enum):
             raise ProtocolError(f"unknown message type {value!r}")
 
 
-#: Fields (beyond ``v``/``type``) a message of each type must carry.
-_REQUIRED: Dict[MessageType, Sequence[str]] = {
-    MessageType.REGISTER_SOURCE: ("source_id", "items"),
-    MessageType.REFRESH: ("source_id", "item", "value", "seq"),
-    MessageType.DAB_UPDATE: ("source_id", "bounds", "epochs"),
-    MessageType.HEARTBEAT: ("source_id", "seqs"),
-    MessageType.QUERY_SUB: ("queries",),
-    MessageType.NOTIFY: ("updates",),
-    MessageType.SNAPSHOT: (),
-    MessageType.ERROR: ("reason",),
+def _is_int(value: object) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _is_number(value: object) -> bool:
+    # Finite only: a NaN would poison the cache silently (every window
+    # and QAB comparison against NaN is False, so nothing ever fires).
+    return (isinstance(value, (int, float)) and not isinstance(value, bool)
+            and math.isfinite(value))
+
+
+def _is_str(value: object) -> bool:
+    return isinstance(value, str)
+
+
+def _is_str_list(value: object) -> bool:
+    return (isinstance(value, list)
+            and all(isinstance(item, str) for item in value))
+
+
+def _is_number_map(value: object) -> bool:
+    return (isinstance(value, dict)
+            and all(isinstance(k, str) and _is_number(v)
+                    for k, v in value.items()))
+
+
+def _is_int_map(value: object) -> bool:
+    return (isinstance(value, dict)
+            and all(isinstance(k, str) and _is_int(v)
+                    for k, v in value.items()))
+
+
+def _is_queries(value: object) -> bool:
+    return value == "*" or _is_str_list(value)
+
+
+def _is_list(value: object) -> bool:
+    return isinstance(value, list)
+
+
+#: Fields (beyond ``v``/``type``) a message of each type must carry, each
+#: with its shape check — presence alone is not enough, because a peer
+#: sending e.g. a string seq or a list of bounds must get a clean
+#: protocol error, not an uncaught TypeError in a handler.
+_REQUIRED: Dict[MessageType, Dict[str, Callable[[object], bool]]] = {
+    MessageType.REGISTER_SOURCE: {"source_id": _is_int, "items": _is_str_list},
+    MessageType.REFRESH: {"source_id": _is_int, "item": _is_str,
+                          "value": _is_number, "seq": _is_int},
+    MessageType.DAB_UPDATE: {"source_id": _is_int, "bounds": _is_number_map,
+                             "epochs": _is_int_map},
+    MessageType.HEARTBEAT: {"source_id": _is_int, "seqs": _is_int_map},
+    MessageType.QUERY_SUB: {"queries": _is_queries},
+    MessageType.NOTIFY: {"updates": _is_list},
+    MessageType.SNAPSHOT: {},
+    MessageType.ERROR: {"reason": _is_str},
+}
+
+#: Optional fields that are still shape-checked when present.
+_OPTIONAL: Dict[MessageType, Dict[str, Callable[[object], bool]]] = {
+    MessageType.REFRESH: {"resync": lambda v: isinstance(v, bool),
+                          "sent_at": _is_number},
+    MessageType.DAB_UPDATE: {"seqs": _is_int_map},
 }
 
 
@@ -150,8 +213,9 @@ class FrameDecoder:
             body = bytes(self._buffer[HEADER_BYTES:HEADER_BYTES + length])
             del self._buffer[:HEADER_BYTES + length]
             try:
-                message = json.loads(body.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                message = json.loads(body.decode("utf-8"),
+                                     parse_constant=_reject_constant)
+            except (UnicodeDecodeError, ValueError) as error:
                 self._poisoned = True
                 raise ProtocolError(f"undecodable frame body: {error}")
             if not isinstance(message, dict):
@@ -162,17 +226,31 @@ class FrameDecoder:
 
 
 def validate_message(message: Mapping[str, Any]) -> MessageType:
-    """Check version, type and required fields; return the parsed type."""
+    """Check version, type and field presence *and shape*; return the type.
+
+    Shape checks are strict: numeric fields must be finite JSON numbers
+    (no bools, no numeric strings, no NaN/Infinity), maps must be string
+    keyed.  A message that fails here must never reach a handler.
+    """
     version = message.get("v")
     if version != PROTOCOL_VERSION:
         raise ProtocolError(
             f"protocol version mismatch: got {version!r}, "
             f"speaking {PROTOCOL_VERSION}")
     kind = MessageType.from_wire(message.get("type"))
-    missing = [name for name in _REQUIRED[kind] if name not in message]
+    required = _REQUIRED[kind]
+    missing = [name for name in required if name not in message]
     if missing:
         raise ProtocolError(
             f"{kind.value} message missing fields: {', '.join(missing)}")
+    for name, well_formed in required.items():
+        if not well_formed(message[name]):
+            raise ProtocolError(
+                f"{kind.value} field {name!r} is malformed: {message[name]!r}")
+    for name, well_formed in _OPTIONAL.get(kind, {}).items():
+        if name in message and not well_formed(message[name]):
+            raise ProtocolError(
+                f"{kind.value} field {name!r} is malformed: {message[name]!r}")
     return kind
 
 
@@ -201,10 +279,16 @@ def refresh(source_id: int, item: str, value: float, seq: int, *,
 
 
 def dab_update(source_id: int, bounds: Mapping[str, float],
-               epochs: Mapping[str, int]) -> Dict[str, Any]:
+               epochs: Mapping[str, int],
+               seqs: Optional[Mapping[str, int]] = None) -> Dict[str, Any]:
+    """``seqs``, sent only in the registration reply, carries the server's
+    highest accepted refresh seq per item so a restarted source (whose
+    counters are back at 0) can resume numbering above the dedup guard."""
     return _message(MessageType.DAB_UPDATE, source_id=int(source_id),
                     bounds={k: float(v) for k, v in bounds.items()},
-                    epochs={k: int(v) for k, v in epochs.items()})
+                    epochs={k: int(v) for k, v in epochs.items()},
+                    seqs={k: int(v) for k, v in seqs.items()}
+                    if seqs is not None else None)
 
 
 def heartbeat(source_id: int, seqs: Mapping[str, int]) -> Dict[str, Any]:

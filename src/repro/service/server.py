@@ -12,7 +12,9 @@ peers:
   number (a duplicate or overtaken refresh never clobbers the cache —
   the simulator's fault-mode semantics, always on here because real
   networks reorder), and registration doubles as resync: the reply
-  programs the source's current primary DABs with their epochs.
+  programs the source's current primary DABs with their epochs and
+  carries the accepted-seq high-water marks so a restarted source
+  resumes numbering above the dedup guard instead of being muted by it.
 * **subscribers** (``QUERY_SUB`` in, ``SNAPSHOT`` + batched ``NOTIFY``
   out).  Notifications are fanned out through a bounded per-connection
   queue drained by a writer task; a subscriber that stops reading long
@@ -168,22 +170,32 @@ class CoordinatorServer:
                     self.stats["protocol_errors"] += 1
                     await self._safe_send(stream, protocol.error(str(err)))
                     break
-                if kind is MessageType.REGISTER_SOURCE:
-                    source_id = await self._on_register_source(stream, message)
-                elif kind is MessageType.REFRESH:
-                    await self._on_refresh(stream, message)
-                elif kind is MessageType.HEARTBEAT:
-                    self.last_heard[int(message["source_id"])] = _time.time()
-                elif kind is MessageType.QUERY_SUB:
-                    sub = await self._on_query_sub(stream, message)
-                elif kind is MessageType.SNAPSHOT:
-                    await self._safe_send(stream, self._snapshot_response())
-                else:
-                    # NOTIFY/DAB_UPDATE are server-to-peer only; a peer
-                    # sending them (or ERROR) ends the conversation.
+                try:
+                    if kind is MessageType.REGISTER_SOURCE:
+                        source_id = await self._on_register_source(
+                            stream, message)
+                    elif kind is MessageType.REFRESH:
+                        await self._on_refresh(stream, message)
+                    elif kind is MessageType.HEARTBEAT:
+                        self.last_heard[int(message["source_id"])] = _time.time()
+                    elif kind is MessageType.QUERY_SUB:
+                        sub = await self._on_query_sub(stream, message)
+                    elif kind is MessageType.SNAPSHOT:
+                        await self._safe_send(stream, self._snapshot_response())
+                    else:
+                        # NOTIFY/DAB_UPDATE are server-to-peer only; a peer
+                        # sending them (or ERROR) ends the conversation.
+                        self.stats["protocol_errors"] += 1
+                        await self._safe_send(stream, protocol.error(
+                            f"unexpected {kind.value} from a client"))
+                        break
+                except (ValueError, TypeError, KeyError) as err:
+                    # validate_message shape-checks every known field, but
+                    # a handler tripping over a hostile payload must still
+                    # answer with a protocol error, not kill the task.
                     self.stats["protocol_errors"] += 1
                     await self._safe_send(stream, protocol.error(
-                        f"unexpected {kind.value} from a client"))
+                        f"malformed {kind.value} message: {err}"))
                     break
         except ProtocolError:
             self.stats["protocol_errors"] += 1
@@ -222,8 +234,17 @@ class CoordinatorServer:
         self.last_heard[source_id] = _time.time()
         self.stats["sources_registered"] += 1
         bounds, epochs = self.core.current_bounds_for(source_id)
+        # The reply also carries our accepted-seq high-water marks: a
+        # *restarted* source process numbers from 0 again, and without
+        # this exchange every one of its refreshes would be rejected as a
+        # stale duplicate until it climbed past the old incarnation's
+        # numbering (resetting last_seq instead would let an in-flight
+        # stale refresh from the dead connection clobber the cache).
+        seqs = {name: self.last_seq[name] for name in known
+                if name in self.last_seq}
         if await self._safe_send(stream,
-                                 protocol.dab_update(source_id, bounds, epochs)):
+                                 protocol.dab_update(source_id, bounds, epochs,
+                                                     seqs=seqs or None)):
             self.stats["dab_updates_sent"] += 1
         return source_id
 
@@ -325,7 +346,12 @@ class CoordinatorServer:
         self._subscribers.pop(sub.sub_id, None)
         self.stats["subscribers"] = len(self._subscribers)
         if sub.writer_task is not None and not sub.writer_task.done():
-            sub.queue.put_nowait(None)     # graceful: flush, then stop
+            try:
+                sub.queue.put_nowait(None)     # graceful: flush, then stop
+            except asyncio.QueueFull:
+                # Exactly-full queue (eviction only fires on overflow):
+                # no room for the sentinel, so drop the backlog instead.
+                sub.writer_task.cancel()
             try:
                 await asyncio.wait_for(sub.writer_task, timeout=1.0)
             except (asyncio.TimeoutError, asyncio.CancelledError):

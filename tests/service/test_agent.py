@@ -147,16 +147,154 @@ class TestLiveAgent:
         async def body():
             from repro.service.transports import loopback_pair
 
-            first_client, _ = loopback_pair()
+            first_client, first_peer = loopback_pair()
+            # Fake coordinator: pre-send the registration reply connect()
+            # consumes before returning.
+            await first_peer.send(protocol.dab_update(0, {}, {}))
             await agent.connect(first_client)
             agent.pending_refreshes({"x0": 100.0})
-            second_client, _ = loopback_pair()
+            second_client, second_peer = loopback_pair()
+            await second_peer.send(protocol.dab_update(0, {}, {}))
             await agent.connect(second_client)
             (message,) = agent.pending_refreshes({"x0": 200.0})
             assert message["resync"] is True
             (message,) = agent.pending_refreshes({"x0": 300.0})
             assert "resync" not in message             # one-shot flag
             await agent.close()
+
+        run(body())
+
+    def test_resync_forces_resend_of_in_window_value(self):
+        """A refresh whose send failed already recentred ``sent_values``;
+        the post-reconnect resync must resend it even though the filter
+        judges it in-window (the reviewer's lost-refresh scenario)."""
+        agent = make_agent()
+
+        async def body():
+            from repro.service.transports import loopback_pair
+
+            first_client, first_peer = loopback_pair()
+            await first_peer.send(protocol.dab_update(
+                0, {"x0": 2.0, "x1": 2.0}, {"x0": 1, "x1": 1}))
+            await agent.connect(first_client)
+            # Bound-violating tick: state commits (seq, sent_values) ...
+            (lost,) = agent.pending_refreshes({"x0": 100.0})
+            assert lost["seq"] == 1
+            # ... but imagine its send died.  Reconnect, then retry the
+            # same value: it is in-window against sent_values, yet must
+            # be re-sent or the coordinator keeps the stale cache forever.
+            second_client, second_peer = loopback_pair()
+            await second_peer.send(protocol.dab_update(0, {}, {}))
+            await agent.connect(second_client)
+            (retried,) = agent.pending_refreshes({"x0": 100.0})
+            assert retried["value"] == 100.0
+            assert retried["resync"] is True
+            assert retried["seq"] == 2
+            await agent.close()
+
+        run(body())
+
+
+class _FlakyStream:
+    """Delegates to a real stream but dies on the Nth send (the peer's
+    view of a connection dropping mid-conversation)."""
+
+    def __init__(self, inner, fail_on_send):
+        self.inner = inner
+        self.fail_on_send = fail_on_send
+        self.sends = 0
+
+    async def send(self, message):
+        self.sends += 1
+        if self.sends == self.fail_on_send:
+            self.inner.close()
+            raise TransportClosed("injected mid-replay drop")
+        await self.inner.send(message)
+
+    async def receive(self):
+        return await self.inner.receive()
+
+    def close(self):
+        self.inner.close()
+
+    @property
+    def closed(self):
+        return self.inner.closed
+
+
+class TestReconnectRecovery:
+    def test_restarted_source_process_is_not_muted(self):
+        """A fresh process's seq counters restart at 0; the registration
+        reply's high-water marks must lift them above the server's dedup
+        guard or every refresh is rejected as stale."""
+        server, scenario, item_to_source = build_scenario_server(
+            query_count=4, item_count=20, source_count=2, trace_length=41,
+            seed=1)
+        agents = agents_for_scenario(scenario, item_to_source)
+
+        async def body():
+            agent = agents[0]
+            item = agent.items[0]
+            await agent.connect(server.connect_loopback())
+            await agent.tick({item: agent.values[item] + 1000.0})
+            await agent.tick({item: agent.values[item] + 1000.0})
+            for _ in range(100):
+                if server.stats["refreshes_accepted"] == 2:
+                    break
+                await asyncio.sleep(0.01)
+            assert server.last_seq[item] == 2
+            await agent.close()
+
+            # The process restarts: same source id, counters back at 0.
+            restarted = SourceAgent(agent.source_id, agent.items,
+                                    initial_values=agent.values)
+            await restarted.connect(server.connect_loopback())
+            assert restarted.seq[item] == 2            # floored by the reply
+            value = restarted.values[item] + 1000.0
+            await restarted.tick({item: value})
+            for _ in range(100):
+                if server.core.cache[item] == value:
+                    break
+                await asyncio.sleep(0.01)
+            assert server.core.cache[item] == value    # accepted, not muted
+            assert server.last_seq[item] == 3
+            await restarted.close()
+            await server.close()
+
+        run(body())
+
+    def test_mid_replay_send_failure_is_not_lost(self):
+        """Reviewer scenario: a refresh commits filter state, its send
+        dies, the agent reconnects and retries the step — the coordinator
+        must still end up with every item's last sent value."""
+        server, scenario, item_to_source = build_scenario_server(
+            query_count=4, item_count=20, source_count=2, trace_length=41,
+            seed=1)
+        agents = agents_for_scenario(scenario, item_to_source)
+
+        async def body():
+            agent = agents[0]
+            # Send #1 is REGISTER_SOURCE; the drop hits the first REFRESH,
+            # after pending_refreshes() already recentred sent_values.
+            flaky = _FlakyStream(server.connect_loopback(), fail_on_send=2)
+
+            async def reconnect():
+                return server.connect_loopback()
+
+            await agent.connect(flaky)
+            await agent.replay(scenario.traces, max_steps=30,
+                               reconnect=reconnect)
+            assert agent.stats["reconnects"] == 1
+            expected = {item: agent.sent_values[item] for item in agent.items}
+            for _ in range(200):
+                if all(server.core.cache[item] == value
+                       for item, value in expected.items()):
+                    break
+                await asyncio.sleep(0.01)
+            for item, value in expected.items():
+                assert server.core.cache[item] == value
+            await agent.close()
+            await server.close()
 
         run(body())
 

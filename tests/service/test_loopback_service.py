@@ -116,6 +116,29 @@ class TestSourcePlane:
 
         run(body())
 
+    def test_reregister_reply_carries_seq_high_water(self, scenario_server):
+        server, scenario, item_to_source = scenario_server
+
+        async def body():
+            stream, first_reply = await registered_stream(
+                server, scenario, item_to_source, source_id=0)
+            assert "seqs" not in first_reply           # nothing accepted yet
+            item = owned_items(item_to_source, 0)[0]
+            await stream.send(protocol.refresh(0, item, 123.0, seq=7))
+            await stream.send(protocol.snapshot())     # sync point
+            while True:
+                reply = await stream.receive()
+                if reply["type"] == MessageType.SNAPSHOT.value:
+                    break
+            # A restarted process re-registers: the reply must tell it
+            # where seq numbering left off, or its refreshes are muted.
+            second, reply = await registered_stream(
+                server, scenario, item_to_source, source_id=0)
+            assert reply["seqs"] == {item: 7}
+            await server.close()
+
+        run(body())
+
     def test_unknown_item_refresh_counts_as_misrouted(self, scenario_server):
         server, scenario, item_to_source = scenario_server
 
@@ -174,6 +197,34 @@ class TestProtocolPolicing:
 
         run(body())
 
+    def test_malformed_field_types_get_error_reply(self, scenario_server):
+        server, _, _ = scenario_server
+
+        async def body():
+            # Well-framed, versioned, right type — but the fields are the
+            # wrong shapes.  Must be a clean protocol error, not a dead
+            # handler task.
+            bad_messages = [
+                {"v": PROTOCOL_VERSION, "type": "refresh",
+                 "source_id": "zero", "item": "x0", "value": 1.0, "seq": 1},
+                {"v": PROTOCOL_VERSION, "type": "refresh",
+                 "source_id": 0, "item": "x0", "value": "12", "seq": 1},
+                {"v": PROTOCOL_VERSION, "type": "heartbeat",
+                 "source_id": 0, "seqs": ["x0"]},
+                {"v": PROTOCOL_VERSION, "type": "register_source",
+                 "source_id": 0, "items": "x0"},
+            ]
+            for bad in bad_messages:
+                stream = server.connect_loopback()
+                await stream.send(bad)
+                reply = await stream.receive()
+                assert reply["type"] == MessageType.ERROR.value
+                assert "malformed" in reply["reason"]
+                assert await stream.receive() is None   # server hung up
+            await server.close()
+
+        run(body())
+
 
 class TestBackpressure:
     def test_slow_consumer_is_evicted(self, scenario_server):
@@ -192,6 +243,26 @@ class TestBackpressure:
             server._fanout_notifications(updates, None)
             assert 99 not in server._subscribers      # evicted
             assert server.stats["slow_consumer_evictions"] == 1
+            assert sub.stream.closed
+            await server.close()
+
+        run(body())
+
+    def test_drop_subscriber_with_exactly_full_queue(self, scenario_server):
+        server, _, _ = scenario_server
+
+        async def body():
+            # The queue is exactly full (fanout only evicts on overflow)
+            # and the writer is wedged: dropping the subscriber must not
+            # raise QueueFull out of close()'s cleanup loop.
+            client_end, server_end = loopback_pair()
+            sub = _Subscriber(42, server_end, None, limit=1)
+            sub.queue.put_nowait(protocol.notify([]))
+            sub.writer_task = asyncio.ensure_future(asyncio.sleep(60))
+            server._subscribers[42] = sub
+            await server._drop_subscriber(sub)
+            assert 42 not in server._subscribers
+            assert sub.writer_task.cancelled()
             assert sub.stream.closed
             await server.close()
 

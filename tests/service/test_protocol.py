@@ -130,3 +130,45 @@ class TestValidation:
         message = protocol.refresh(0, "x0", float("nan"), 1)
         with pytest.raises(ValueError):
             encode_frame(message)
+
+    def test_non_finite_constants_refused_at_decode_time(self):
+        # encode_frame already refuses NaN/Infinity; a hostile peer can
+        # still put them on the wire, and json.loads would accept them.
+        for constant in ("NaN", "Infinity", "-Infinity"):
+            body = (f'{{"v": 1, "type": "refresh", "source_id": 0, '
+                    f'"item": "x0", "value": {constant}, "seq": 1}}').encode()
+            decoder = FrameDecoder()
+            with pytest.raises(ProtocolError, match="undecodable"):
+                decoder.feed(struct.pack(">I", len(body)) + body)
+
+    def test_malformed_field_types_rejected(self):
+        good = protocol.refresh(0, "x0", 1.0, 1)
+        bad_messages = [
+            dict(good, source_id="zero"),          # numeric string
+            dict(good, source_id=True),            # bool is not an int
+            dict(good, value="12"),                # numeric string
+            dict(good, value=float("nan")),        # non-finite
+            dict(good, seq=1.5),                   # float seq
+            dict(good, resync="yes"),              # optional, still typed
+            dict(protocol.register_source(0, ["x0"]), items="x0"),
+            dict(protocol.heartbeat(0, {"x0": 1}), seqs=["x0"]),
+            dict(protocol.dab_update(0, {"x0": 1.0}, {"x0": 1}),
+                 bounds={"x0": "wide"}),
+            dict(protocol.dab_update(0, {}, {}, seqs={"x0": 1}),
+                 seqs={"x0": "7"}),
+            dict(protocol.query_sub(["q0"]), queries=7),
+            dict(protocol.error("x"), reason=None),
+        ]
+        for bad in bad_messages:
+            with pytest.raises(ProtocolError, match="malformed"):
+                validate_message(bad)
+
+    def test_dab_update_seqs_roundtrip(self):
+        message = protocol.dab_update(2, {"x0": 0.5}, {"x0": 3},
+                                      seqs={"x0": 9})
+        assert message["seqs"] == {"x0": 9}
+        assert validate_message(message) is MessageType.DAB_UPDATE
+        (decoded,) = FrameDecoder().feed(encode_frame(message))
+        assert decoded == message
+        # Omitted entirely when not given (registration replies only).
+        assert "seqs" not in protocol.dab_update(2, {"x0": 0.5}, {"x0": 3})
