@@ -411,6 +411,47 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return 1 if report["qab_violations"] else 0
 
 
+def cmd_chaos_soak(args: argparse.Namespace) -> int:
+    from repro.service.soak import run_chaos_soak
+
+    report = run_chaos_soak(
+        schedule=args.schedule, steps=args.steps,
+        queries=args.queries, items=args.items, sources=args.sources,
+        seed=args.seed, algorithm=args.algorithm, workload=args.workload,
+        lease_duration=args.lease_duration,
+        output=args.output or None,
+    )
+    print(f"schedule             {report['schedule']} "
+          f"({', '.join(report['fault_kinds'])})")
+    print(f"steps                {report['steps']} "
+          f"(+{report['tail_steps']} recovery)")
+    print(f"fault events         {report['fault_events']} "
+          f"{report['fault_counts']}")
+    print(f"fault trace digest   {report['fault_trace_digest'][:16]}…")
+    print(f"audits               {report['audits']} "
+          f"({report['audits_with_degraded']} while degraded)")
+    print(f"QAB violations       {report['qab_violations_unexcused']} "
+          f"unexcused, {report['qab_violations_excused_degraded']} excused "
+          f"(degraded-flagged)")
+    recovery = report["recovery_steps"]
+    if recovery:
+        rendered = ", ".join(f"{k}={v:.0f}" for k, v in sorted(recovery.items()))
+        print(f"recovery (steps)     {rendered} "
+              f"max={report['recovery_steps_max']:.0f} over "
+              f"{report['recovery_episodes']} episodes")
+    overhead = report["refresh_overhead_per_step"]
+    if overhead:
+        rendered = ", ".join(f"{k}={v:.0f}" for k, v in sorted(overhead.items()))
+        print(f"refreshes per step   {rendered} "
+              f"(total {report['refreshes_total']})")
+    if report["final_degraded_queries"]:
+        print(f"STILL DEGRADED       {report['final_degraded_queries']}")
+    if report.get("output"):
+        print(f"report written to    {report['output']}")
+    print(f"result               {'PASS' if report['passed'] else 'FAIL'}")
+    return 0 if report["passed"] else 1
+
+
 # ---------------------------------------------------------------------------
 # parser wiring
 # ---------------------------------------------------------------------------
@@ -586,6 +627,34 @@ def build_parser() -> argparse.ArgumentParser:
                          default="benchmarks/results/BENCH_service.json",
                          help="write the JSON report here ('' to skip)")
     loadgen.set_defaults(func=cmd_loadgen)
+
+    soak = sub.add_parser("chaos-soak",
+                          help="soak the live service under injected "
+                               "wire faults and audit QAB compliance")
+    soak.add_argument("--schedule", default="ci",
+                      choices=["smoke", "ci", "heavy"],
+                      help="named fault schedule (loss + partition + "
+                           "agent crash, increasing intensity)")
+    soak.add_argument("--steps", type=int, default=None,
+                      help="trace steps to soak (default: the schedule's "
+                           "budget)")
+    soak.add_argument("--queries", type=int, default=6)
+    soak.add_argument("--items", type=int, default=16)
+    soak.add_argument("--sources", type=int, default=3)
+    soak.add_argument("--seed", type=int, default=1)
+    soak.add_argument("--workload", choices=["portfolio", "arbitrage"],
+                      default="portfolio")
+    soak.add_argument("--algorithm", default="dual_dab",
+                      choices=["optimal_refresh", "dual_dab",
+                               "half_and_half", "different_sum",
+                               "signomial", "sharfman_baseline",
+                               "uniform_baseline", "laq"])
+    soak.add_argument("--lease-duration", type=float, default=3.0,
+                      help="staleness lease in logical steps")
+    soak.add_argument("--output",
+                      default="benchmarks/results/BENCH_chaos.json",
+                      help="write the JSON report here ('' to skip)")
+    soak.set_defaults(func=cmd_chaos_soak)
 
     return parser
 

@@ -19,7 +19,16 @@ The discrete-event simulator proves the planning algorithms; this package
 * :mod:`repro.service.client` — the
   :class:`~repro.service.client.ServiceClient` subscriber SDK;
 * :mod:`repro.service.loadgen` — the N-sources × M-subscribers load
-  generator behind ``repro loadgen``.
+  generator behind ``repro loadgen``;
+* :mod:`repro.service.chaos` — seeded wire-level fault injection
+  (:class:`~repro.service.chaos.FaultSchedule`,
+  :class:`~repro.service.chaos.FaultInjector`) that composes with any
+  transport;
+* :mod:`repro.service.resilience` — :class:`~repro.service.resilience.RetryPolicy`
+  backoff and the :class:`~repro.service.resilience.CircuitBreaker` guarding
+  the solver;
+* :mod:`repro.service.soak` — the chaos soak harness behind
+  ``repro chaos-soak``, auditing end-to-end QAB correctness under faults.
 
 Only ``core`` and ``protocol`` are imported eagerly: the simulator imports
 :class:`CoordinatorCore` from here, and the asyncio modules import the
@@ -55,6 +64,16 @@ __all__ = [
     "run_loadgen",
     "loopback_pair",
     "MessageStream",
+    "FaultSchedule",
+    "FaultInjector",
+    "chaos_stream",
+    "chaos_loopback_pair",
+    "RetryPolicy",
+    "RetryExhausted",
+    "CircuitBreaker",
+    "BreakerState",
+    "retry_async",
+    "run_chaos_soak",
 ]
 
 _LAZY = {
@@ -64,6 +83,16 @@ _LAZY = {
     "run_loadgen": ("repro.service.loadgen", "run_loadgen"),
     "loopback_pair": ("repro.service.transports", "loopback_pair"),
     "MessageStream": ("repro.service.transports", "MessageStream"),
+    "FaultSchedule": ("repro.service.chaos", "FaultSchedule"),
+    "FaultInjector": ("repro.service.chaos", "FaultInjector"),
+    "chaos_stream": ("repro.service.chaos", "chaos_stream"),
+    "chaos_loopback_pair": ("repro.service.chaos", "chaos_loopback_pair"),
+    "RetryPolicy": ("repro.service.resilience", "RetryPolicy"),
+    "RetryExhausted": ("repro.service.resilience", "RetryExhausted"),
+    "CircuitBreaker": ("repro.service.resilience", "CircuitBreaker"),
+    "BreakerState": ("repro.service.resilience", "BreakerState"),
+    "retry_async": ("repro.service.resilience", "retry_async"),
+    "run_chaos_soak": ("repro.service.soak", "run_chaos_soak"),
 }
 
 

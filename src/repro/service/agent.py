@@ -30,12 +30,16 @@ The agent is transport-agnostic: ``run`` drives a real TCP connection,
 from __future__ import annotations
 
 import asyncio
+import logging
 import time as _time
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
 
 from repro.service import protocol
 from repro.service.protocol import MessageType, ProtocolError
+from repro.service.resilience import RetryPolicy, retry_async
 from repro.service.transports import MessageStream, TransportClosed, open_tcp_stream
+
+_LOG = logging.getLogger(__name__)
 
 
 class SourceAgent:
@@ -77,6 +81,9 @@ class SourceAgent:
             "dab_updates_rejected_stale_epoch": 0,
             "reconnects": 0,
             "heartbeats_sent": 0,
+            "registrations_failsafe": 0,
+            "dab_acks_sent": 0,
+            "probes_answered": 0,
         }
         self._stream: Optional[MessageStream] = None
         self._listener: Optional[asyncio.Task] = None
@@ -191,16 +198,22 @@ class SourceAgent:
         await stream.send(protocol.register_source(self.source_id, self.items))
         try:
             reply = await asyncio.wait_for(stream.receive(), register_timeout)
-        except (asyncio.TimeoutError, TransportClosed):
+        except (asyncio.TimeoutError, TransportClosed, ProtocolError):
+            # Timed out, connection died, or the reply arrived corrupt —
+            # either way there is no usable reply.
             reply = None
+            self.stats["registrations_failsafe"] += 1
+            _LOG.warning(
+                "source %d: no usable registration reply within %.3fs; "
+                "proceeding fail-safe (no bounds -> every tick is forwarded)",
+                self.source_id, register_timeout)
         if reply is not None:
             try:
                 kind = protocol.validate_message(reply)
             except ProtocolError:
                 kind = None
             if kind is MessageType.DAB_UPDATE:
-                self.apply_dab_update(reply["bounds"], reply["epochs"],
-                                      reply.get("seqs"))
+                await self._handle_dab_update(reply, stream)
             elif kind is MessageType.ERROR:
                 stream.close()
                 self._stream = None
@@ -210,23 +223,65 @@ class SourceAgent:
         if self.heartbeat_interval:
             self._heartbeat_task = asyncio.ensure_future(self._heartbeats())
 
+    async def _handle_dab_update(self, message: Mapping[str, Any],
+                                 stream: MessageStream) -> None:
+        """Apply an inbound DAB_UPDATE, ack it, and answer value probes."""
+        self.apply_dab_update(message["bounds"], message["epochs"],
+                              message.get("seqs"))
+        msg_id = message.get("msg_id")
+        if msg_id is not None:
+            await stream.send(protocol.dab_ack(self.source_id, int(msg_id)))
+            self.stats["dab_acks_sent"] += 1
+        probe = message.get("probe")
+        if probe:
+            await self._answer_probe(probe, stream)
+
+    async def _answer_probe(self, items: Iterable[str],
+                            stream: MessageStream) -> None:
+        """Immediately resend the probed items' current values.
+
+        A probe means the coordinator suspects it missed a refresh (seq
+        gap, expired lease): the authoritative cure is a fresh value, so
+        each probed item gets an unconditional ``resync`` refresh with a
+        bumped seq — the filter is bypassed exactly like the
+        post-reconnect resync path.
+        """
+        for item in sorted(items):
+            if item not in self.values:
+                continue
+            self.seq[item] += 1
+            self.sent_values[item] = self.values[item]
+            self._resync_pending.discard(item)
+            await stream.send(protocol.refresh(
+                self.source_id, item, self.values[item], self.seq[item],
+                resync=True,
+                sent_at=self.clock() if self.timestamp_refreshes else None))
+            self.stats["probes_answered"] += 1
+            self.stats["refreshes_sent"] += 1
+
     async def _listen(self, stream: MessageStream) -> None:
         try:
             while True:
                 message = await stream.receive()
                 if message is None:
-                    return
+                    break
                 try:
                     kind = protocol.validate_message(message)
                 except ProtocolError:
-                    return
+                    break
                 if kind is MessageType.DAB_UPDATE:
-                    self.apply_dab_update(message["bounds"], message["epochs"],
-                                          message.get("seqs"))
+                    await self._handle_dab_update(message, stream)
                 elif kind is MessageType.ERROR:
-                    return
-        except (ProtocolError, asyncio.CancelledError):
+                    break
+        except (ProtocolError, TransportClosed):
+            pass
+        except asyncio.CancelledError:
             return
+        # The inbound half is unusable (EOF, poisoned decoder, or a
+        # rejection): close the whole stream so the next tick raises
+        # TransportClosed and the reconnect path takes over, instead of
+        # sending into a connection the coordinator already gave up on.
+        stream.close()
 
     async def _heartbeats(self) -> None:
         try:
@@ -266,6 +321,7 @@ class SourceAgent:
         start_step: int = 1,
         max_steps: Optional[int] = None,
         reconnect: Optional[Callable[[], "Any"]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> int:
         """Replay a :class:`~repro.dynamics.traces.TraceSet` through the
         filter; returns the number of refreshes pushed.
@@ -277,6 +333,12 @@ class SourceAgent:
         (``resync=True``), so a refresh whose send died on the old
         connection is re-delivered even though the local filter state had
         already recentred on it.
+
+        ``retry_policy`` governs *repeated* reconnect failures: instead
+        of one bare attempt per dropped step, the agent backs off between
+        attempts (exponential + deterministic jitter) and raises
+        :class:`~repro.service.resilience.RetryExhausted` once the policy
+        gives up.
         """
         lengths = [len(traces[item]) for item in self.items]
         last = min(lengths) if lengths else 0
@@ -291,16 +353,30 @@ class SourceAgent:
             except TransportClosed:
                 if reconnect is None:
                     raise
-                await self.connect(await reconnect())
+                await self._reconnect(reconnect, retry_policy)
                 continue            # retry the same step after resync
             step += 1
             if tick_interval:
                 await asyncio.sleep(tick_interval)
         return sent
 
+    async def _reconnect(self, reconnect: Callable[[], "Any"],
+                         retry_policy: Optional[RetryPolicy]) -> None:
+        if retry_policy is None:
+            await self.connect(await reconnect())
+            return
+
+        async def _attempt() -> None:
+            await self.connect(await reconnect())
+
+        await retry_async(
+            retry_policy, _attempt,
+            retry_on=(TransportClosed, ConnectionError, OSError))
+
     async def run(self, host: str, port: int, traces: "Any",
                   tick_interval: float = 0.0,
-                  max_steps: Optional[int] = None) -> int:
+                  max_steps: Optional[int] = None,
+                  retry_policy: Optional[RetryPolicy] = None) -> int:
         """Connect over TCP, replay, and close — the ``repro agent`` body."""
         async def _dial() -> MessageStream:
             return await open_tcp_stream(host, port)
@@ -308,7 +384,8 @@ class SourceAgent:
         await self.connect(await _dial())
         try:
             return await self.replay(traces, tick_interval=tick_interval,
-                                     max_steps=max_steps, reconnect=_dial)
+                                     max_steps=max_steps, reconnect=_dial,
+                                     retry_policy=retry_policy)
         finally:
             await self.close()
 

@@ -23,11 +23,19 @@ class ServiceClient:
     """Track live query values pushed by a :class:`CoordinatorServer`."""
 
     def __init__(self, stream: MessageStream,
-                 clock: Callable[[], float] = _time.time):
+                 clock: Callable[[], float] = _time.time,
+                 close_timeout: float = 1.0):
         self.stream = stream
         self.clock = clock
+        #: how long :meth:`close` waits for the listener task to drain
+        #: before cancelling it outright.
+        self.close_timeout = float(close_timeout)
         #: latest value per subscribed query (snapshot + notifies).
         self.values: Dict[str, float] = {}
+        #: queries the coordinator currently serves with honestly widened
+        #: bounds (query name → widened QAB), per the lease machinery; an
+        #: empty map means every subscribed query is fully guaranteed.
+        self.degraded: Dict[str, float] = {}
         self.notifies_received = 0
         self.updates_received = 0
         #: end-to-end latency samples in seconds (refresh sent → notify
@@ -83,11 +91,20 @@ class ServiceClient:
                         ProtocolError("connection closed before snapshot"))
             self._snapshot_waiters.clear()
 
+    def _apply_degraded(self, message: Dict[str, Any]) -> None:
+        # The field, when present, is the *complete* current map — an
+        # empty dict is the all-clear, so replace rather than merge.
+        degraded = message.get("degraded")
+        if degraded is not None:
+            self.degraded = {name: float(bound)
+                             for name, bound in degraded.items()}
+
     def _on_notify(self, message: Dict[str, Any]) -> None:
         self.notifies_received += 1
         for update in message["updates"]:
             self.values[update["query"]] = float(update["value"])
             self.updates_received += 1
+        self._apply_degraded(message)
         origin = message.get("refresh_sent_at")
         if origin is not None:
             self.latencies.append(max(0.0, self.clock() - float(origin)))
@@ -96,6 +113,7 @@ class ServiceClient:
         values = message.get("values") or {}
         self.values.update({name: float(v) for name, v in values.items()})
         self.stats_seen = message.get("stats") or {}
+        self._apply_degraded(message)
         if self._snapshot_waiters:
             waiter = self._snapshot_waiters.pop(0)
             if not waiter.done():
@@ -105,7 +123,8 @@ class ServiceClient:
         self.stream.close()
         if self._listener is not None and not self._listener.done():
             try:
-                await asyncio.wait_for(self._listener, timeout=1.0)
+                await asyncio.wait_for(self._listener,
+                                       timeout=self.close_timeout)
             except (asyncio.TimeoutError, asyncio.CancelledError):
                 self._listener.cancel()
 

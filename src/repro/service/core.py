@@ -93,6 +93,8 @@ class CoordinatorCore:
         aao_period: Optional[int] = None,
         vectorize: bool = False,
         recompute_hook: Optional[Callable[[], None]] = None,
+        solver_breaker: Optional[object] = None,
+        breaker_shrink: float = 0.9,
     ):
         if not queries:
             raise SimulationError("a coordinator needs at least one query")
@@ -113,6 +115,18 @@ class CoordinatorCore:
         self.aao_period = aao_period
         self.item_to_source = dict(item_to_source)
         self.recompute_hook = recompute_hook
+        #: Optional circuit breaker around the GP solve (see
+        #: :mod:`repro.service.resilience`).  ``None`` — the default, and
+        #: what the simulator always passes — leaves every code path
+        #: bit-identical to the breaker-less implementation.
+        self.solver_breaker = solver_breaker
+        if not (0.0 < breaker_shrink <= 1.0):
+            raise SimulationError(
+                f"breaker_shrink must be in (0, 1], got {breaker_shrink!r}")
+        self.breaker_shrink = float(breaker_shrink)
+        #: query name -> (source plan, its shrunk stand-in) while the
+        #: breaker is open (cached so shrinkage never compounds).
+        self._breaker_plans: Dict[str, Tuple[DABAssignment, DABAssignment]] = {}
 
         self.cache: Dict[str, float] = {
             name: float(initial_values[name])
@@ -238,6 +252,29 @@ class CoordinatorCore:
         """Array form of :meth:`query_values` (vectorized runs only)."""
         return self._bank.values_vector(self._power_vector)
 
+    def uncertainty_widened_bound(self, query: PolynomialQuery,
+                                  drifts: Mapping[str, float]) -> float:
+        """The accuracy bound honestly reportable with stale inputs.
+
+        ``drifts`` maps each suspect item to the absolute drift it is
+        conservatively assumed to have accumulated since last heard from.
+        The query's QAB is widened by its worst-case response to each
+        drift (evaluated one item at a time, the simulator's PR-1
+        staleness-lease semantics — iteration order is the caller's, so
+        the float summation order is exactly what it passes in).
+        """
+        extra = 0.0
+        cache = self.cache
+        base = self.query_value(query)
+        for name, drift in drifts.items():
+            perturbed = dict(cache)
+            perturbed[name] = cache[name] + drift
+            up = abs(query.evaluate(perturbed) - base)
+            perturbed[name] = cache[name] - drift
+            down = abs(query.evaluate(perturbed) - base)
+            extra += max(up, down)
+        return query.qab + extra
+
     def _window_contains(self, query: PolynomialQuery, plan: DABAssignment,
                          changed_item: Optional[str] = None) -> bool:
         """``plan.window_contains(self._values_for(query))``, incremental.
@@ -305,9 +342,17 @@ class CoordinatorCore:
 
     def _plan_query(self, query: PolynomialQuery) -> DABAssignment:
         """One guarded GP solve: solver failures degrade, never escape."""
+        breaker = self.solver_breaker
+        if breaker is not None and not breaker.allow():
+            # Breaker open: no solver call at all — serve the last good
+            # plan with its primary DABs conservatively shrunk (tighter
+            # filters keep Condition 1 while the references go stale).
+            return self._breaker_degraded_plan(query)
         try:
-            return self.planner.plan(query, self._values_for(query))
+            plan = self.planner.plan(query, self._values_for(query))
         except GPError:
+            if breaker is not None:
+                breaker.record_failure()
             self.metrics.record_solver_fallback()
             previous = self.plans.get(query.name)
             if previous is not None:
@@ -317,6 +362,37 @@ class CoordinatorCore:
             from repro.filters.baselines import UniformAllocationBaseline
 
             return UniformAllocationBaseline().plan(query, self._values_for(query))
+        if breaker is not None:
+            breaker.record_success()
+        return plan
+
+    def _breaker_degraded_plan(self, query: PolynomialQuery) -> DABAssignment:
+        """The last good plan, primary DABs scaled by ``breaker_shrink``.
+
+        Shrinking *primary* bounds is the safe direction (``c >= b`` still
+        holds, sources just push a little more); shrinking secondary
+        would trigger extra window violations and hence more of exactly
+        the solver calls the open breaker is protecting against.
+        """
+        previous = self.plans.get(query.name)
+        if previous is None:
+            from repro.filters.baselines import UniformAllocationBaseline
+
+            return UniformAllocationBaseline().plan(query, self._values_for(query))
+        cached = self._breaker_plans.get(query.name)
+        if cached is not None and (previous is cached[0]
+                                   or previous is cached[1]):
+            return cached[1]
+        shrunk = DABAssignment(
+            primary={name: bound * self.breaker_shrink
+                     for name, bound in previous.primary.items()},
+            secondary=previous.secondary,
+            reference_values=previous.reference_values,
+            recompute_rate=previous.recompute_rate,
+            objective=previous.objective,
+        )
+        self._breaker_plans[query.name] = (previous, shrunk)
+        return shrunk
 
     def _recompute(self, query: PolynomialQuery) -> None:
         plan = self._plan_query(query)

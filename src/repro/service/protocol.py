@@ -27,6 +27,10 @@ recovery semantics proven there carry over to the wire:
                      registration reply additionally carries ``seqs``,
                      the server's accepted refresh high-water marks, so a
                      restarted source resumes seq numbering above them
+``DAB_ACK``          source → server: receipt for a ``msg_id``-tagged
+                     ``DAB_UPDATE`` (the server retries unacked bound
+                     changes with backoff, so a dropped bound cannot
+                     silently leave a source filtering on stale DABs)
 ``HEARTBEAT``        a source's liveness beacon carrying per-item refresh
                      seq numbers (lost-refresh gap detection)
 ``QUERY_SUB``        a client subscribes to query-result notifications
@@ -78,6 +82,7 @@ class MessageType(enum.Enum):
     REGISTER_SOURCE = "register_source"
     REFRESH = "refresh"
     DAB_UPDATE = "dab_update"
+    DAB_ACK = "dab_ack"
     HEARTBEAT = "heartbeat"
     QUERY_SUB = "query_sub"
     NOTIFY = "notify"
@@ -142,6 +147,7 @@ _REQUIRED: Dict[MessageType, Dict[str, Callable[[object], bool]]] = {
                           "value": _is_number, "seq": _is_int},
     MessageType.DAB_UPDATE: {"source_id": _is_int, "bounds": _is_number_map,
                              "epochs": _is_int_map},
+    MessageType.DAB_ACK: {"source_id": _is_int, "msg_id": _is_int},
     MessageType.HEARTBEAT: {"source_id": _is_int, "seqs": _is_int_map},
     MessageType.QUERY_SUB: {"queries": _is_queries},
     MessageType.NOTIFY: {"updates": _is_list},
@@ -153,7 +159,17 @@ _REQUIRED: Dict[MessageType, Dict[str, Callable[[object], bool]]] = {
 _OPTIONAL: Dict[MessageType, Dict[str, Callable[[object], bool]]] = {
     MessageType.REFRESH: {"resync": lambda v: isinstance(v, bool),
                           "sent_at": _is_number},
-    MessageType.DAB_UPDATE: {"seqs": _is_int_map},
+    # ``msg_id`` asks the source to DAB_ACK (reliable delivery under
+    # chaos); ``probe`` asks it to immediately resend the listed items'
+    # current values (the lease-expiry recovery path).
+    MessageType.DAB_UPDATE: {"seqs": _is_int_map, "msg_id": _is_int,
+                             "probe": _is_str_list},
+    # ``degraded`` maps query names to the honestly-widened accuracy
+    # bound the coordinator can currently promise (stale inputs); an
+    # empty map clears a previous degradation.
+    MessageType.NOTIFY: {"sent_at": _is_number, "refresh_sent_at": _is_number,
+                         "degraded": _is_number_map},
+    MessageType.SNAPSHOT: {"degraded": _is_number_map},
 }
 
 
@@ -280,15 +296,30 @@ def refresh(source_id: int, item: str, value: float, seq: int, *,
 
 def dab_update(source_id: int, bounds: Mapping[str, float],
                epochs: Mapping[str, int],
-               seqs: Optional[Mapping[str, int]] = None) -> Dict[str, Any]:
+               seqs: Optional[Mapping[str, int]] = None,
+               msg_id: Optional[int] = None,
+               probe: Optional[Iterable[str]] = None) -> Dict[str, Any]:
     """``seqs``, sent only in the registration reply, carries the server's
     highest accepted refresh seq per item so a restarted source (whose
-    counters are back at 0) can resume numbering above the dedup guard."""
+    counters are back at 0) can resume numbering above the dedup guard.
+
+    ``msg_id`` requests a :func:`dab_ack` (the server retries unacked
+    bound changes under its retry policy); ``probe`` lists items whose
+    current value the source must resend immediately, DAB filter or not
+    — how a lease-expired item's true value is recovered."""
     return _message(MessageType.DAB_UPDATE, source_id=int(source_id),
                     bounds={k: float(v) for k, v in bounds.items()},
                     epochs={k: int(v) for k, v in epochs.items()},
                     seqs={k: int(v) for k, v in seqs.items()}
-                    if seqs is not None else None)
+                    if seqs is not None else None,
+                    msg_id=int(msg_id) if msg_id is not None else None,
+                    probe=sorted(probe) if probe is not None else None)
+
+
+def dab_ack(source_id: int, msg_id: int) -> Dict[str, Any]:
+    """A source's receipt for a ``msg_id``-tagged DAB_UPDATE."""
+    return _message(MessageType.DAB_ACK, source_id=int(source_id),
+                    msg_id=int(msg_id))
 
 
 def heartbeat(source_id: int, seqs: Mapping[str, int]) -> Dict[str, Any]:
@@ -305,21 +336,27 @@ def query_sub(queries: object = "*") -> Dict[str, Any]:
 
 def notify(updates: Sequence[Mapping[str, Any]], *,
            sent_at: Optional[float] = None,
-           refresh_sent_at: Optional[float] = None) -> Dict[str, Any]:
+           refresh_sent_at: Optional[float] = None,
+           degraded: Optional[Mapping[str, float]] = None) -> Dict[str, Any]:
     """Batched query-value updates: ``[{"query", "value"}, ...]``.
 
     ``refresh_sent_at`` echoes the triggering refresh's ``sent_at`` so a
     subscriber can measure end-to-end notify latency without clock games.
+    ``degraded`` maps query names to honestly-widened accuracy bounds
+    while their inputs are lease-expired; ``{}`` clears the flag.
     """
     return _message(MessageType.NOTIFY, updates=list(updates),
-                    sent_at=sent_at, refresh_sent_at=refresh_sent_at)
+                    sent_at=sent_at, refresh_sent_at=refresh_sent_at,
+                    degraded=dict(degraded) if degraded is not None else None)
 
 
 def snapshot(values: Optional[Mapping[str, float]] = None,
-             stats: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+             stats: Optional[Mapping[str, Any]] = None,
+             degraded: Optional[Mapping[str, float]] = None) -> Dict[str, Any]:
     """Request form (no ``values``) or response form (with them)."""
     return _message(MessageType.SNAPSHOT, values=dict(values) if values is not None else None,
-                    stats=dict(stats) if stats is not None else None)
+                    stats=dict(stats) if stats is not None else None,
+                    degraded=dict(degraded) if degraded is not None else None)
 
 
 def error(reason: str) -> Dict[str, Any]:

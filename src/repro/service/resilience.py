@@ -1,0 +1,191 @@
+"""Resilience policies for the live service.
+
+Two small, transport-free building blocks the chaos-hardened service
+layers compose:
+
+* :class:`RetryPolicy` — exponential backoff with deterministic jitter
+  and a bounded attempt budget.  It replaces the bare ``while True:
+  reconnect()`` loops in the agent and client: a flapping link no longer
+  hammers the coordinator at full speed, and a dead one eventually gives
+  up through an explicit callback instead of spinning forever.  The
+  jitter is *seeded* (``random.Random``, keyed on ``"seed:attempt"``)
+  so a chaos-soak run replays bit-identically.
+* :class:`CircuitBreaker` — the classic closed / open / half-open state
+  machine, used around the compiled-GP recompute path: after
+  ``failure_threshold`` consecutive solver failures the breaker opens
+  and the coordinator serves conservatively-shrunk last-good plans
+  (no solver calls at all) until ``reset_timeout`` elapses, then lets
+  one half-open probe through; a success closes it again and counts a
+  recovery.
+
+Both take injectable clocks/sleeps so the soak harness can drive them on
+a logical step clock with zero wall-time dependence.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import time as _time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, Optional
+
+from repro.exceptions import ReproError
+
+
+class RetryExhausted(ReproError):
+    """A retry loop ran out of attempts (the give-up path)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    ``delay(attempt)`` for attempt ``0, 1, 2, ...`` is
+    ``min(base_delay * backoff**attempt, max_delay)``, stretched by a
+    jitter factor drawn uniformly from ``[1, 1 + jitter]`` — seeded per
+    ``(seed, attempt)``, so the same policy replays the same delays.
+    A ``max_attempts`` of ``n`` allows attempts ``0 .. n-1``.
+    """
+
+    base_delay: float = 0.05
+    backoff: float = 2.0
+    max_delay: float = 5.0
+    max_attempts: int = 8
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 0.0 or self.max_delay < 0.0:
+            raise ReproError("retry delays must be >= 0")
+        if self.backoff < 1.0:
+            raise ReproError(f"backoff must be >= 1, got {self.backoff!r}")
+        if self.max_attempts < 1:
+            raise ReproError(
+                f"max_attempts must be >= 1, got {self.max_attempts!r}")
+        if self.jitter < 0.0:
+            raise ReproError("jitter must be >= 0")
+
+    def delay(self, attempt: int) -> float:
+        base = min(self.base_delay * self.backoff ** attempt, self.max_delay)
+        if self.jitter > 0.0 and base > 0.0:
+            stretch = random.Random(f"{self.seed}:{attempt}").uniform(
+                1.0, 1.0 + self.jitter)
+            base = min(base * stretch, self.max_delay * (1.0 + self.jitter))
+        return base
+
+    def delays(self) -> Iterator[float]:
+        """The full backoff schedule, one delay per allowed attempt."""
+        for attempt in range(self.max_attempts):
+            yield self.delay(attempt)
+
+
+async def retry_async(
+    policy: RetryPolicy,
+    operation: Callable[[], Any],
+    *,
+    retry_on: tuple = (Exception,),
+    on_give_up: Optional[Callable[[BaseException], None]] = None,
+    sleep: Optional[Callable[[float], Any]] = None,
+) -> Any:
+    """Run ``operation`` (an async thunk) under ``policy``.
+
+    Each failed attempt sleeps the policy's delay before the next one;
+    when the budget is exhausted ``on_give_up`` is invoked with the last
+    error and :class:`RetryExhausted` is raised from it.
+    """
+    if sleep is None:
+        import asyncio
+
+        sleep = asyncio.sleep
+    last: Optional[BaseException] = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return await operation()
+        except retry_on as err:          # noqa: PERF203 — the loop IS the policy
+            last = err
+            if attempt + 1 < policy.max_attempts:
+                await sleep(policy.delay(attempt))
+    if on_give_up is not None:
+        on_give_up(last)
+    raise RetryExhausted(
+        f"gave up after {policy.max_attempts} attempts: {last}") from last
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker with recovery accounting.
+
+    ``allow()`` gates each protected call: closed always allows; open
+    rejects until ``reset_timeout`` has elapsed since opening, then moves
+    to half-open and allows exactly one probe; the probe's
+    ``record_success`` closes the breaker (a *recovery*), its
+    ``record_failure`` re-opens it.  The clock is injectable so logical
+    step clocks drive it deterministically.
+    """
+
+    def __init__(self, failure_threshold: int = 3, reset_timeout: float = 30.0,
+                 clock: Callable[[], float] = _time.monotonic):
+        if failure_threshold < 1:
+            raise ReproError("failure_threshold must be >= 1")
+        if reset_timeout <= 0.0:
+            raise ReproError("reset_timeout must be > 0")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self.clock = clock
+        self.state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self.stats: Dict[str, float] = {
+            "failures": 0,
+            "opens": 0,
+            "rejected_calls": 0,
+            "probes": 0,
+            "recoveries": 0,
+            "open_seconds": 0.0,
+        }
+
+    def allow(self) -> bool:
+        """May the next protected call proceed?"""
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if self.clock() - self._opened_at >= self.reset_timeout:
+                self.state = BreakerState.HALF_OPEN
+                self._probe_in_flight = False
+            else:
+                self.stats["rejected_calls"] += 1
+                return False
+        # Half-open: exactly one probe at a time.
+        if self._probe_in_flight:
+            self.stats["rejected_calls"] += 1
+            return False
+        self._probe_in_flight = True
+        self.stats["probes"] += 1
+        return True
+
+    def record_success(self) -> None:
+        if self.state is not BreakerState.CLOSED:
+            self.stats["recoveries"] += 1
+            self.stats["open_seconds"] += max(
+                0.0, self.clock() - self._opened_at)
+        self.state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        self.stats["failures"] += 1
+        self._consecutive_failures += 1
+        self._probe_in_flight = False
+        if (self.state is BreakerState.HALF_OPEN
+                or self._consecutive_failures >= self.failure_threshold):
+            if self.state is not BreakerState.OPEN:
+                self.stats["opens"] += 1
+            self.state = BreakerState.OPEN
+            self._opened_at = self.clock()

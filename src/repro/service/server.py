@@ -30,13 +30,14 @@ from __future__ import annotations
 
 import asyncio
 import time as _time
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import ReproError
 from repro.queries.polynomial import PolynomialQuery
 from repro.service import protocol
 from repro.service.core import CoordinatorCore, RecomputeMode
 from repro.service.protocol import MessageType, ProtocolError
+from repro.service.resilience import RetryPolicy
 from repro.service.transports import MessageStream, TransportClosed, loopback_pair
 from repro.simulation.metrics import MetricsCollector
 
@@ -78,6 +79,13 @@ class CoordinatorServer:
         recompute_cost: float = 1.0,
         metrics: Optional[MetricsCollector] = None,
         notify_queue_limit: int = DEFAULT_NOTIFY_QUEUE_LIMIT,
+        writer_join_timeout: float = 1.0,
+        lease_duration: Optional[float] = None,
+        lease_check_interval: Optional[float] = None,
+        suspect_drift_rel: float = 0.05,
+        dab_retry_policy: Optional[RetryPolicy] = None,
+        solver_breaker: Optional[object] = None,
+        clock: Callable[[], float] = _time.time,
     ):
         self.metrics = metrics if metrics is not None else MetricsCollector(
             recompute_cost=recompute_cost)
@@ -85,11 +93,41 @@ class CoordinatorServer:
             queries=queries, planner=planner, mode=mode, metrics=self.metrics,
             initial_values=initial_values, item_to_source=item_to_source,
             aao_planner=aao_planner, aao_period=aao_period,
-            vectorize=vectorize,
+            vectorize=vectorize, solver_breaker=solver_breaker,
         )
         self.core.bootstrap()
         self.notify_queue_limit = int(notify_queue_limit)
         self._query_names = {query.name for query in self.core.queries}
+
+        #: How long a graceful subscriber drop waits for its writer task
+        #: to flush before cancelling it (seconds).
+        self.writer_join_timeout = float(writer_join_timeout)
+        #: The time source for all liveness bookkeeping — wall clock by
+        #: default, a logical step clock under the chaos soak.
+        self.clock = clock
+        #: ``None`` disables the staleness-lease machinery entirely (the
+        #: default: behaviour is then byte-identical to the pre-lease
+        #: server).  Units are whatever ``clock`` counts.
+        self.lease_duration = (float(lease_duration)
+                               if lease_duration is not None else None)
+        if lease_check_interval is not None:
+            self.lease_check_interval: Optional[float] = float(lease_check_interval)
+        else:
+            self.lease_check_interval = (self.lease_duration / 4.0
+                                         if self.lease_duration else None)
+        self.suspect_drift_rel = float(suspect_drift_rel)
+        #: item -> time its lease expired (or its seq gap was detected).
+        self.suspect_since: Dict[str, float] = {}
+        self._item_last_heard: Dict[str, float] = {}
+        self._degraded_keys: frozenset = frozenset()
+        #: ``None`` disables reliable DAB delivery (default); with a
+        #: policy, every changed-bound DAB_UPDATE carries a ``msg_id``
+        #: and is retried with backoff until acked or given up on.
+        self.dab_retry_policy = dab_retry_policy
+        self._outstanding_dabs: Dict[int, Dict[str, Any]] = {}
+        self._dab_msg_counter = 0
+        self._maintenance_task: Optional[asyncio.Task] = None
+        self.solver_breaker = solver_breaker
 
         #: source_id -> its (sole) live stream; replaced on re-register.
         self._source_streams: Dict[int, MessageStream] = {}
@@ -110,6 +148,9 @@ class CoordinatorServer:
             "protocol_errors": 0,
             "sources_registered": 0,
             "subscribers": 0,
+            "heartbeats_received": 0,
+            "seq_gaps_detected": 0,
+            "dab_acks_received": 0,
         }
 
     # -- lifecycle ---------------------------------------------------------------
@@ -125,18 +166,52 @@ class CoordinatorServer:
 
         self._tcp_server = await asyncio.start_server(_accept, host, port)
         sockname = self._tcp_server.sockets[0].getsockname()
+        self.start_maintenance()
         return sockname[0], sockname[1]
+
+    def start_maintenance(self) -> None:
+        """Run lease checks and DAB retries on a background task.
+
+        Started automatically by :meth:`serve_tcp`; loopback embeddings
+        (tests, the chaos soak) drive :meth:`check_leases` /
+        :meth:`check_retries` explicitly instead, so their event order
+        stays deterministic.  A no-op when neither machinery is enabled.
+        """
+        if self._maintenance_task is not None:
+            return
+        if self.lease_check_interval is None and self.dab_retry_policy is None:
+            return
+        self._maintenance_task = asyncio.ensure_future(self._maintenance_loop())
+
+    async def _maintenance_loop(self) -> None:
+        interval = self.lease_check_interval or 1.0
+        while True:
+            await asyncio.sleep(interval)
+            await self.check_leases()
+            await self.check_retries()
+
+    def adopt_connection(self, server_end: MessageStream) -> None:
+        """Serve an externally-built stream (a chaos-wrapped loopback
+        end, for instance) on this server."""
+        task = asyncio.ensure_future(self.handle_connection(server_end))
+        self._handler_tasks.add(task)
+        task.add_done_callback(self._handler_tasks.discard)
 
     def connect_loopback(self) -> MessageStream:
         """A client-end stream connected in process (no sockets) — the
         transport the CI suite and the in-process loadgen run on."""
         client_end, server_end = loopback_pair()
-        task = asyncio.ensure_future(self.handle_connection(server_end))
-        self._handler_tasks.add(task)
-        task.add_done_callback(self._handler_tasks.discard)
+        self.adopt_connection(server_end)
         return client_end
 
     async def close(self) -> None:
+        if self._maintenance_task is not None:
+            self._maintenance_task.cancel()
+            try:
+                await self._maintenance_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._maintenance_task = None
         if self._tcp_server is not None:
             self._tcp_server.close()
             await self._tcp_server.wait_closed()
@@ -177,7 +252,9 @@ class CoordinatorServer:
                     elif kind is MessageType.REFRESH:
                         await self._on_refresh(stream, message)
                     elif kind is MessageType.HEARTBEAT:
-                        self.last_heard[int(message["source_id"])] = _time.time()
+                        await self._on_heartbeat(message)
+                    elif kind is MessageType.DAB_ACK:
+                        self._on_dab_ack(message)
                     elif kind is MessageType.QUERY_SUB:
                         sub = await self._on_query_sub(stream, message)
                     elif kind is MessageType.SNAPSHOT:
@@ -231,8 +308,14 @@ class CoordinatorServer:
         if previous is not None and previous is not stream:
             previous.close()
         self._source_streams[source_id] = stream
-        self.last_heard[source_id] = _time.time()
+        self.last_heard[source_id] = self.clock()
         self.stats["sources_registered"] += 1
+        # The reply re-programs every current bound, superseding whatever
+        # changed-bound deliveries were still being retried to this source.
+        if self._outstanding_dabs:
+            for msg_id in [m for m, entry in self._outstanding_dabs.items()
+                           if entry["source_id"] == source_id]:
+                del self._outstanding_dabs[msg_id]
         bounds, epochs = self.core.current_bounds_for(source_id)
         # The reply also carries our accepted-seq high-water marks: a
         # *restarted* source process numbers from 0 again, and without
@@ -264,7 +347,11 @@ class CoordinatorServer:
             self.stats["refreshes_rejected_stale_seq"] += 1
             return
         self.last_seq[item] = seq
-        self.last_heard[int(message["source_id"])] = _time.time()
+        now = self.clock()
+        self.last_heard[int(message["source_id"])] = now
+        if self.lease_duration is not None:
+            self._hear_from_item(item, now)
+            self._fanout_degraded_if_changed()
         self.core.apply_refresh(item, float(message["value"]))
         self.stats["refreshes_accepted"] += 1
         if message.get("resync"):
@@ -278,16 +365,231 @@ class CoordinatorServer:
 
     async def _fanout_bound_changes(self) -> None:
         for source_id, (bounds, epochs) in self.core.changed_bound_updates().items():
-            stream = self._source_streams.get(source_id)
-            if stream is None:
-                # Disconnected source: the bounds stay in the core's
-                # last-sent state and are re-programmed wholesale when the
-                # source re-registers (the resync path).
+            await self._send_dab_update(source_id, bounds, epochs)
+
+    async def _send_dab_update(self, source_id: int,
+                               bounds: Dict[str, float],
+                               epochs: Dict[str, int],
+                               attempt: int = 0,
+                               msg_id: Optional[int] = None) -> None:
+        """Ship one changed-bound DAB_UPDATE, reliably when configured.
+
+        With a retry policy, the message carries a ``msg_id`` and sits in
+        the outstanding table until the source's DAB_ACK lands —
+        :meth:`check_retries` resends it with backoff otherwise.  A
+        dropped *narrowing* update is the one loss the seq/lease
+        machinery cannot see (the source keeps filtering against a
+        stale, wider bound), so delivery has to be acknowledged.
+        """
+        policy = self.dab_retry_policy
+        if policy is not None:
+            if msg_id is None:
+                self._dab_msg_counter += 1
+                msg_id = self._dab_msg_counter
+            self._outstanding_dabs[msg_id] = {
+                "source_id": source_id, "bounds": bounds, "epochs": epochs,
+                "attempt": attempt, "due": self.clock() + policy.delay(attempt),
+            }
+        stream = self._source_streams.get(source_id)
+        if stream is None:
+            # Disconnected source: the bounds stay in the core's
+            # last-sent state and are re-programmed wholesale when the
+            # source re-registers (the resync path); with a retry policy
+            # the outstanding entry keeps nagging until then.
+            return
+        if await self._safe_send(stream,
+                                 protocol.dab_update(source_id, bounds,
+                                                     epochs, msg_id=msg_id)):
+            self.stats["dab_updates_sent"] += 1
+
+    def _on_dab_ack(self, message: Dict[str, Any]) -> None:
+        self._outstanding_dabs.pop(int(message["msg_id"]), None)
+        self.stats["dab_acks_received"] += 1
+
+    async def check_retries(self) -> None:
+        """Resend overdue unacked DAB_UPDATEs; give up into degradation.
+
+        Exhausting the retry budget marks the affected items suspect —
+        the coordinator can no longer claim the source enforces the
+        bounds it was sent, so served answers widen honestly instead of
+        silently trusting a filter that may not exist.
+        """
+        policy = self.dab_retry_policy
+        if policy is None or not self._outstanding_dabs:
+            return
+        now = self.clock()
+        for msg_id in list(self._outstanding_dabs):
+            entry = self._outstanding_dabs.get(msg_id)
+            if entry is None or entry["due"] > now:
                 continue
-            if await self._safe_send(stream,
-                                     protocol.dab_update(source_id, bounds,
-                                                         epochs)):
-                self.stats["dab_updates_sent"] += 1
+            del self._outstanding_dabs[msg_id]
+            attempt = entry["attempt"] + 1
+            if attempt >= policy.max_attempts:
+                self.metrics.record_dab_retry_exhausted()
+                if self.lease_duration is not None:
+                    for name in entry["bounds"]:
+                        self.suspect_since.setdefault(name, now)
+                    self._fanout_degraded_if_changed()
+                continue
+            self.metrics.record_dab_retry()
+            await self._send_dab_update(entry["source_id"], entry["bounds"],
+                                        entry["epochs"], attempt=attempt,
+                                        msg_id=msg_id)
+
+    # -- staleness leases -----------------------------------------------------------
+
+    async def _on_heartbeat(self, message: Dict[str, Any]) -> None:
+        """Renew leases for in-sync items; a seq gap means a refresh we
+        never received — the item goes suspect and its value is probed
+        (the source is demonstrably alive, so the reply is immediate)."""
+        source_id = int(message["source_id"])
+        now = self.clock()
+        self.last_heard[source_id] = now
+        self.stats["heartbeats_received"] += 1
+        self.metrics.record_heartbeat()
+        if self.lease_duration is None:
+            return
+        probes: List[str] = []
+        behind: List[str] = []
+        for name, seq in message["seqs"].items():
+            if self.core.item_to_source.get(name) != source_id:
+                continue
+            held = self.last_seq.get(name, 0)
+            if int(seq) == held:
+                self._hear_from_item(name, now)
+                continue
+            if name not in self.suspect_since:
+                self.suspect_since[name] = now
+                self.stats["seq_gaps_detected"] += 1
+                self.metrics.record_refresh_gap()
+            if int(seq) > held:
+                probes.append(name)
+            else:
+                # Numbering *behind* ours: a restarted source whose
+                # registration reply (with the seq high-water marks) was
+                # lost.  Its refreshes are being rejected as duplicates,
+                # so a probe alone cannot cure it — re-floor its seqs.
+                behind.append(name)
+        if behind:
+            bounds, epochs = self.core.current_bounds_for(source_id)
+            await self._send_resync(source_id, behind, bounds, epochs)
+        if probes:
+            await self._send_probe(source_id, probes)
+        self._fanout_degraded_if_changed()
+
+    def _hear_from_item(self, name: str, now: float) -> None:
+        """A refresh (or probe reply) vouched for ``name``: renew its
+        lease, clear suspicion, close the staleness-exposure interval."""
+        self._item_last_heard[name] = now
+        since = self.suspect_since.pop(name, None)
+        if since is not None:
+            self.metrics.record_staleness_exposure(max(0.0, now - since))
+
+    async def check_leases(self) -> None:
+        """Expire leases on unheard-from items; probe and degrade.
+
+        Driven by the maintenance task under TCP, or explicitly per step
+        by the chaos soak.  First sweep baselines every item's lease at
+        the current clock (a grace period, not an instant expiry)."""
+        if self.lease_duration is None:
+            return
+        now = self.clock()
+        probes_by_source: Dict[int, List[str]] = {}
+        for name in self.core.cache:
+            last = self._item_last_heard.setdefault(name, now)
+            source_id = self.core.item_to_source.get(name)
+            if name in self.suspect_since:
+                # Keep probing until the value (or its resync) lands.
+                if source_id is not None:
+                    probes_by_source.setdefault(source_id, []).append(name)
+                continue
+            if now - last > self.lease_duration:
+                self.suspect_since[name] = now
+                self.metrics.record_lease_expiry()
+                if source_id is not None:
+                    probes_by_source.setdefault(source_id, []).append(name)
+        for source_id, items in probes_by_source.items():
+            await self._send_probe(source_id, items)
+        self._fanout_degraded_if_changed()
+
+    async def _send_probe(self, source_id: int, items: List[str]) -> None:
+        """Ask a source to resend the listed items' current values now
+        (an empty-bounds DAB_UPDATE carrying only ``probe``)."""
+        stream = self._source_streams.get(source_id)
+        if stream is None:
+            return
+        message = protocol.dab_update(source_id, {}, {}, probe=items)
+        if await self._safe_send(stream, message):
+            self.metrics.record_value_probe(len(items))
+
+    async def _send_resync(self, source_id: int, items: List[str],
+                           bounds: Dict[str, float],
+                           epochs: Dict[str, int]) -> None:
+        """A mini registration reply for ``items``: current bounds,
+        epochs and seq floors, plus a probe so the re-numbered source
+        answers with fresh values immediately."""
+        stream = self._source_streams.get(source_id)
+        if stream is None:
+            return
+        message = protocol.dab_update(
+            source_id,
+            {name: bounds[name] for name in items if name in bounds},
+            {name: epochs[name] for name in items if name in epochs},
+            seqs={name: self.last_seq[name] for name in items
+                  if name in self.last_seq},
+            probe=items)
+        if await self._safe_send(stream, message):
+            self.metrics.record_value_probe(len(items))
+
+    def degraded_bounds(self) -> Dict[str, float]:
+        """``{query name: honestly-widened bound}`` for every query with
+        at least one suspect input — the PR 1 lease semantics, computed
+        by :meth:`CoordinatorCore.uncertainty_widened_bound` with drifts
+        that grow with each item's staleness."""
+        if self.lease_duration is None or not self.suspect_since:
+            return {}
+        now = self.clock()
+        cache = self.core.cache
+        degraded: Dict[str, float] = {}
+        for query in self.core.queries:
+            drifts: Dict[str, float] = {}
+            for name in query.variables:
+                since = self.suspect_since.get(name)
+                if since is None:
+                    continue
+                staleness = max(0.0, now - since)
+                drifts[name] = (self.suspect_drift_rel
+                                * max(abs(cache[name]), 1e-12)
+                                * (1.0 + staleness / self.lease_duration))
+            if drifts:
+                degraded[query.name] = self.core.uncertainty_widened_bound(
+                    query, drifts)
+        return degraded
+
+    def _fanout_degraded_if_changed(self) -> None:
+        """When the set of degraded queries changes, push a bare NOTIFY
+        carrying the authoritative ``degraded`` map to every subscriber —
+        including the empty map that clears a recovered degradation."""
+        if self.lease_duration is None:
+            return
+        affected = set()
+        for name in self.suspect_since:
+            for query in self.core.item_index.get(name, []):
+                affected.add(query.name)
+        keys = frozenset(affected)
+        if keys == self._degraded_keys:
+            return
+        self._degraded_keys = keys
+        degraded = self.degraded_bounds()
+        for sub in list(self._subscribers.values()):
+            message = protocol.notify(
+                [], sent_at=_time.time(),
+                degraded={name: bound for name, bound in degraded.items()
+                          if sub.wants(name)})
+            try:
+                sub.queue.put_nowait(message)
+            except asyncio.QueueFull:
+                self._evict_slow_consumer(sub)
 
     # -- subscriber plane -----------------------------------------------------------
 
@@ -312,20 +614,35 @@ class CoordinatorServer:
         values = {query.name: value for query, value in
                   zip(self.core.queries, self.core.query_values())
                   if sub is None or sub.wants(query.name)}
-        return protocol.snapshot(values=values, stats=self.server_stats())
+        if self.lease_duration is not None:
+            # Always present once leases are on (``{}`` = all healthy),
+            # so a snapshot is an authoritative degraded-state read.
+            degraded: Optional[Dict[str, float]] = {
+                name: bound for name, bound in self.degraded_bounds().items()
+                if sub is None or sub.wants(name)}
+        else:
+            degraded = None
+        return protocol.snapshot(values=values, stats=self.server_stats(),
+                                 degraded=degraded)
 
     def _fanout_notifications(self, notifications: List[Tuple[str, float]],
                               refresh_sent_at: Optional[float]) -> None:
         """One batched NOTIFY per interested subscriber, through its
         bounded queue; a full queue evicts the slow consumer."""
         now = _time.time()
+        degraded = (self.degraded_bounds()
+                    if self.lease_duration is not None and self.suspect_since
+                    else None)
         for sub in list(self._subscribers.values()):
             updates = [{"query": name, "value": value}
                        for name, value in notifications if sub.wants(name)]
             if not updates:
                 continue
-            message = protocol.notify(updates, sent_at=now,
-                                      refresh_sent_at=refresh_sent_at)
+            message = protocol.notify(
+                updates, sent_at=now, refresh_sent_at=refresh_sent_at,
+                degraded=None if degraded is None else
+                {name: bound for name, bound in degraded.items()
+                 if sub.wants(name)})
             try:
                 sub.queue.put_nowait(message)
             except asyncio.QueueFull:
@@ -353,7 +670,8 @@ class CoordinatorServer:
                 # no room for the sentinel, so drop the backlog instead.
                 sub.writer_task.cancel()
             try:
-                await asyncio.wait_for(sub.writer_task, timeout=1.0)
+                await asyncio.wait_for(sub.writer_task,
+                                       timeout=self.writer_join_timeout)
             except (asyncio.TimeoutError, asyncio.CancelledError):
                 sub.writer_task.cancel()
         sub.stream.close()
@@ -385,6 +703,21 @@ class CoordinatorServer:
         stats["duplicate_rejects"] = self.metrics.duplicate_rejects
         stats["queries"] = len(self.core.queries)
         stats["items"] = len(self.core.cache)
+        if self.lease_duration is not None:
+            stats["suspect_items"] = len(self.suspect_since)
+            stats["degraded_queries"] = len(self._degraded_keys)
+            stats["lease_expiries"] = self.metrics.lease_expiries
+            stats["refresh_gaps"] = self.metrics.refresh_gaps
+            stats["value_probes"] = self.metrics.value_probes
+            stats["staleness_exposure_seconds"] = (
+                self.metrics.staleness_exposure_seconds)
+        if self.dab_retry_policy is not None:
+            stats["dab_retries"] = self.metrics.dab_retries
+            stats["dab_retries_exhausted"] = self.metrics.dab_retry_exhausted
+            stats["dab_updates_outstanding"] = len(self._outstanding_dabs)
+        if self.solver_breaker is not None:
+            stats["solver_breaker_state"] = self.solver_breaker.state.value
+            stats["solver_breaker"] = dict(self.solver_breaker.stats)
         return stats
 
 
@@ -403,10 +736,15 @@ def build_scenario_server(
     workload: str = "portfolio",
     vectorize: bool = True,
     notify_queue_limit: int = DEFAULT_NOTIFY_QUEUE_LIMIT,
+    **server_kwargs: Any,
 ):
     """A :class:`CoordinatorServer` plus its scenario, built exactly like a
     simulator run: same workload generator, same rate estimation, same
     planner stack.  Returns ``(server, scenario, item_to_source)``.
+
+    Extra keyword arguments (``lease_duration``, ``dab_retry_policy``,
+    ``solver_breaker``, ``clock``, ...) pass straight through to the
+    :class:`CoordinatorServer` constructor.
 
     ``repro serve`` and ``repro agent``/``repro loadgen`` must be launched
     with the same ``--queries/--items/--sources/--seed/--workload`` so both
@@ -457,5 +795,6 @@ def build_scenario_server(
         mode=_SINGLE_DAB_MODES[config.algorithm],
         vectorize=vectorize, recompute_cost=recompute_cost,
         notify_queue_limit=notify_queue_limit,
+        **server_kwargs,
     )
     return server, scenario, item_to_source

@@ -1,0 +1,418 @@
+"""Chaos soak: the live service under injected faults, audited end to end.
+
+``run_chaos_soak`` stands up a real :class:`CoordinatorServer`, N
+:class:`SourceAgent` processes-in-miniature and a subscriber, wires every
+source link through a :class:`~repro.service.chaos.FaultInjector`, and
+replays a deterministic scenario while the injector drops, duplicates,
+delays, corrupts, disconnects, partitions and crashes according to a
+named (or custom) :class:`~repro.service.chaos.FaultSchedule`.
+
+**The audit.** At deterministic checkpoints a subscriber on a clean
+(chaos-free) connection takes an authoritative snapshot and compares
+every served query value against ground truth — the sources' *live*
+values, which the coordinator never sees directly.  The contract under
+audit is the paper's Theorem 1 extended to a lossy world:
+
+* a query either answers within its QAB, **or**
+* it is honestly flagged in the snapshot's ``degraded`` map with a
+  widened bound (the PR 1 lease semantics) — and then the widened bound
+  is expected to cover the truth too (tracked, non-fatal, because the
+  drift model is a heuristic).
+
+Anything else is an **unexcused QAB violation** and fails the soak.
+
+**Determinism.** The whole run is driven on a logical step clock: the
+server's ``clock`` is the step counter, heartbeats and lease/retry
+sweeps are issued explicitly each step, agents tick in sorted order, and
+every chaos decision depends only on per-link frame order under a seeded
+substream — so the same seed replays the identical fault trace
+(``fault_trace_digest`` in the report) and the identical audit.
+
+Checkpoints are placed where the fault trace shows the wire quiet for
+``audit_margin`` steps: one clean heartbeat round is what the detection
+machinery (seq gaps → probes, leases → degradation) needs to have either
+repaired or honestly flagged any earlier loss.  Crash windows generate
+no wire events, so audits *do* run while a source is down — that is
+where the degraded-excusal path earns its keep.  After the scheduled
+steps the injector is disabled and a recovery tail runs until the
+degraded map drains; the soak fails if it never does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
+
+from repro.exceptions import ReproError
+from repro.service import protocol
+from repro.service.agent import SourceAgent, agents_for_scenario
+from repro.service.chaos import FaultInjector, FaultSchedule, chaos_loopback_pair
+from repro.service.client import ServiceClient, latency_percentiles
+from repro.service.resilience import (
+    CircuitBreaker,
+    RetryExhausted,
+    RetryPolicy,
+    retry_async,
+)
+from repro.service.transports import TransportClosed
+from repro.simulation.faults import CrashWindow, PartitionWindow
+
+#: name -> (schedule builder, default step budget).  Every named schedule
+#: mixes at least loss + partition + agent crash (the acceptance trio).
+_NAMED_SCHEDULES = {
+    "smoke": (lambda seed: FaultSchedule(
+        drop_rate=0.3, loss_windows=(PartitionWindow(5.0, 9.0),),
+        duplicate_rate=0.05,
+        partitions=(PartitionWindow(12.0, 14.0),),
+        crash_windows=(CrashWindow(0, 16.0, 22.0),),
+        seed=seed), 28),
+    "ci": (lambda seed: FaultSchedule(
+        drop_rate=0.35, loss_windows=(PartitionWindow(6.0, 12.0),
+                                      PartitionWindow(30.0, 35.0),),
+        duplicate_rate=0.08, delay_rate=0.08, delay_steps=2,
+        disconnect_rate=0.01, corrupt_rate=0.008,
+        partitions=(PartitionWindow(18.0, 22.0),),
+        crash_windows=(CrashWindow(0, 40.0, 46.0),),
+        seed=seed), 60),
+    "heavy": (lambda seed: FaultSchedule(
+        drop_rate=0.4, loss_windows=(PartitionWindow(10.0, 25.0),
+                                     PartitionWindow(60.0, 75.0),
+                                     PartitionWindow(110.0, 120.0),),
+        duplicate_rate=0.12, delay_rate=0.12, delay_steps=3,
+        disconnect_rate=0.02, corrupt_rate=0.015,
+        partitions=(PartitionWindow(40.0, 46.0), PartitionWindow(90.0, 94.0),),
+        crash_windows=(CrashWindow(0, 50.0, 58.0), CrashWindow(1, 98.0, 106.0),),
+        seed=seed), 140),
+}
+
+
+def named_schedule(name: str, seed: int = 1) -> Tuple[FaultSchedule, int]:
+    """``(schedule, default step budget)`` for a named soak profile."""
+    try:
+        build, steps = _NAMED_SCHEDULES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown chaos schedule {name!r}; "
+            f"pick one of {sorted(_NAMED_SCHEDULES)}") from None
+    return build(seed), steps
+
+
+class _StepClock:
+    """The soak's logical time source, shared with the server."""
+
+    def __init__(self) -> None:
+        self.step = 0
+
+    def __call__(self) -> float:
+        return float(self.step)
+
+
+async def _drain(rounds: int = 8) -> None:
+    """Let queued loopback frames, writer tasks and listeners settle."""
+    for _ in range(rounds):
+        await asyncio.sleep(0)
+
+
+async def _run_async(
+    server: Any,
+    scenario: Any,
+    item_to_source: Dict[str, int],
+    injector: FaultInjector,
+    clock: _StepClock,
+    steps: int,
+    audit_margin: int,
+    register_timeout: float,
+) -> Dict[str, Any]:
+    traces = scenario.traces
+    queries = scenario.queries
+    qab_slack = 1e-9
+    # A delayed frame lands delay_steps after its fault event fired; the
+    # quiet period before an audit has to outlast that.
+    audit_margin = max(audit_margin, injector.schedule.delay_steps + 1)
+
+    #: registration itself runs through the chaos links, so connecting is
+    #: retried under a policy (zero backoff: the step clock is logical).
+    connect_policy = RetryPolicy(base_delay=0.0, backoff=1.0, max_delay=0.0,
+                                 max_attempts=12)
+    connect_give_ups = 0
+
+    async def _connect(agent: SourceAgent) -> None:
+        nonlocal connect_give_ups
+
+        async def _attempt() -> None:
+            client_end, server_end = chaos_loopback_pair(
+                injector, peer=f"src{agent.source_id}")
+            server.adopt_connection(server_end)
+            await _drain(2)
+            await agent.connect(client_end, register_timeout=register_timeout)
+
+        try:
+            await retry_async(connect_policy, _attempt,
+                              retry_on=(TransportClosed, ConnectionError))
+        except RetryExhausted:
+            # Leave the source down: its leases will expire and the
+            # degraded flags tell subscribers the truth until the next
+            # tick/heartbeat triggers another connection attempt.
+            connect_give_ups += 1
+
+    agents = agents_for_scenario(scenario, item_to_source)
+    for agent in agents.values():
+        await _connect(agent)
+    await _drain()
+
+    auditor = ServiceClient(server.connect_loopback())
+    await auditor.subscribe("*")
+
+    #: ground truth: each source's live view — frozen while it is down.
+    truth: Dict[str, float] = dict(traces.initial_values())
+    crashed: Set[int] = set()
+    retired_stats: List[Dict[str, int]] = []
+
+    trace_len = min(len(traces[item]) for item in item_to_source)
+    last = min(trace_len, steps + 1)
+    fault_steps: Set[int] = set()
+    degraded_open: Dict[str, int] = {}
+    recovery_durations: List[float] = []
+    refreshes_per_step: List[float] = []
+    audit_log: List[Dict[str, Any]] = []
+    unexcused: List[Dict[str, Any]] = []
+    excused = 0
+    degraded_bound_exceeded: List[Dict[str, Any]] = []
+    audits = 0
+    audits_with_degraded = 0
+
+    def _note_faults() -> None:
+        for event_step, _link, kind, _frame in injector.trace:
+            # Duplicates are benign by construction (seq/epoch dedup);
+            # they never create staleness, so they don't block audits.
+            if kind != "duplicate":
+                fault_steps.add(event_step)
+
+    def _track_degraded(step: int) -> None:
+        current = set(server._degraded_keys)
+        for name in current:
+            degraded_open.setdefault(name, step)
+        for name in list(degraded_open):
+            if name not in current:
+                recovery_durations.append(float(step - degraded_open.pop(name)))
+
+    async def _heartbeat(agent: SourceAgent) -> None:
+        stream = agent._stream
+        if stream is None:
+            await _connect(agent)
+            stream = agent._stream
+        try:
+            await stream.send(protocol.heartbeat(agent.source_id, agent.seq))
+            agent.stats["heartbeats_sent"] += 1
+        except TransportClosed:
+            await _connect(agent)
+
+    async def _audit(step: int, phase: str) -> None:
+        nonlocal excused, audits, audits_with_degraded
+        served = await auditor.request_snapshot()
+        degraded = dict(auditor.degraded)
+        audits += 1
+        if degraded:
+            audits_with_degraded += 1
+        entry = {"step": step, "phase": phase,
+                 "degraded_queries": sorted(degraded)}
+        for query in queries:
+            name = query.name
+            if name not in served:
+                continue
+            error = abs(served[name] - query.evaluate(truth))
+            if error <= query.qab * (1.0 + qab_slack) + 1e-12:
+                continue
+            if name in degraded:
+                excused += 1
+                if error > degraded[name] * (1.0 + qab_slack) + 1e-12:
+                    degraded_bound_exceeded.append(
+                        {"step": step, "query": name, "error": error,
+                         "widened_bound": degraded[name]})
+                continue
+            unexcused.append({"step": step, "query": name, "error": error,
+                              "qab": query.qab, "phase": phase})
+        audit_log.append(entry)
+
+    async def _step(step: int, phase: str) -> None:
+        clock.step = step
+        injector.advance(step)
+        await _drain(4)
+
+        # Crash transitions: kill at window start, revive (a *new*
+        # process: fresh seqs, resync pending) at window end.
+        for source_id in sorted(agents):
+            is_down = injector.is_crashed(source_id, step)
+            if is_down and source_id not in crashed:
+                crashed.add(source_id)
+                retired_stats.append(dict(agents[source_id].stats))
+                await agents[source_id].close()
+            elif not is_down and source_id in crashed:
+                crashed.discard(source_id)
+                dead = agents[source_id]
+                revived = SourceAgent(
+                    source_id, dead.items,
+                    {name: truth[name] for name in dead.items})
+                revived._resync_pending = set(revived.items)
+                agents[source_id] = revived
+                await _connect(revived)
+
+        before = server.stats["refreshes_accepted"]
+        for source_id in sorted(agents):
+            if source_id in crashed:
+                continue                      # a down source's world freezes
+            agent = agents[source_id]
+            updates = {item: traces[item].at(step) for item in agent.items}
+            truth.update(updates)
+            try:
+                await agent.tick(updates)
+            except TransportClosed:
+                # Values are already applied locally; the reconnect marks
+                # every item resync-pending, so the next tick (or a probe
+                # answer) re-delivers them.
+                await _connect(agent)
+        await _drain()
+
+        for source_id in sorted(agents):
+            if source_id not in crashed:
+                await _heartbeat(agents[source_id])
+        await _drain()
+        await server.check_leases()
+        await server.check_retries()
+        await _drain()
+
+        refreshes_per_step.append(
+            float(server.stats["refreshes_accepted"] - before))
+        _note_faults()
+        _track_degraded(step)
+        recent = {step, step - 1} if audit_margin <= 1 else set(
+            range(step - audit_margin + 1, step + 1))
+        if not (recent & fault_steps):
+            await _audit(step, phase)
+
+    for step in range(1, last):
+        await _step(step, "storm")
+
+    # Recovery tail: the storm is over; every probe now lands, so the
+    # degraded map must drain.  The tail length bounds recovery time.
+    injector.enabled = False
+    tail_budget = int(2 * (server.lease_duration or 1.0)) + 10
+    tail_end = last
+    for step in range(last, last + tail_budget):
+        await _step(step, "recovery")
+        tail_end = step
+        if not server.suspect_since and not server._outstanding_dabs:
+            break
+    _track_degraded(tail_end + 1)              # close still-open episodes
+    await _audit(tail_end, "final")
+
+    final_degraded = dict(auditor.degraded)
+    stats = server.server_stats()
+    agent_totals: Dict[str, int] = {}
+    for source_stats in retired_stats + [a.stats for a in agents.values()]:
+        for key, value in source_stats.items():
+            agent_totals[key] = agent_totals.get(key, 0) + value
+
+    report = {
+        "steps": last - 1,
+        "tail_steps": tail_end - last + 1,
+        "audits": audits,
+        "audits_with_degraded": audits_with_degraded,
+        "qab_violations_unexcused": len(unexcused),
+        "qab_violations_excused_degraded": excused,
+        "degraded_bound_exceeded": len(degraded_bound_exceeded),
+        "violation_detail": unexcused[:10],
+        "degraded_bound_exceeded_detail": degraded_bound_exceeded[:10],
+        "final_degraded_queries": sorted(final_degraded),
+        "fault_counts": dict(sorted(injector.counts.items())),
+        "fault_events": len(injector.trace),
+        "fault_trace_digest": injector.digest(),
+        "recovery_steps": latency_percentiles(recovery_durations,
+                                              (50.0, 95.0)),
+        "recovery_episodes": len(recovery_durations),
+        "recovery_steps_max": max(recovery_durations, default=0.0),
+        "refresh_overhead_per_step": latency_percentiles(
+            refreshes_per_step, (50.0, 95.0)),
+        "refreshes_total": stats["refreshes_accepted"],
+        "connect_give_ups": connect_give_ups,
+        "agent_stats": agent_totals,
+        "server_stats": stats,
+    }
+
+    await auditor.close()
+    for agent in agents.values():
+        await agent.close()
+    await server.close()
+    return report
+
+
+def run_chaos_soak(
+    schedule: Union[str, FaultSchedule] = "ci",
+    steps: Optional[int] = None,
+    queries: int = 6,
+    items: int = 16,
+    sources: int = 3,
+    seed: int = 1,
+    algorithm: str = "dual_dab",
+    workload: str = "portfolio",
+    lease_duration: float = 3.0,
+    suspect_drift_rel: float = 0.05,
+    audit_margin: int = 2,
+    register_timeout: float = 0.25,
+    output: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run the chaos soak; returns (and optionally writes) the report.
+
+    ``schedule`` is a profile name (``smoke``/``ci``/``heavy``) or a
+    custom :class:`FaultSchedule`; ``steps`` defaults to the profile's
+    budget.  ``lease_duration`` is in logical steps.  The run **fails**
+    (``report["passed"] is False``) on any unexcused QAB violation, or if
+    the degraded map has not drained by the end of the recovery tail.
+    """
+    if isinstance(schedule, str):
+        schedule_name = schedule
+        schedule, default_steps = named_schedule(schedule, seed=seed)
+        steps = steps if steps is not None else default_steps
+    else:
+        schedule_name = "custom"
+        steps = steps if steps is not None else 40
+    from repro.service.server import build_scenario_server
+
+    clock = _StepClock()
+    server, scenario, item_to_source = build_scenario_server(
+        query_count=queries, item_count=items, source_count=sources,
+        trace_length=steps + 2, seed=seed, algorithm=algorithm,
+        workload=workload,
+        lease_duration=lease_duration,
+        suspect_drift_rel=suspect_drift_rel,
+        dab_retry_policy=RetryPolicy(base_delay=1.0, backoff=1.5,
+                                     max_delay=4.0, max_attempts=6),
+        solver_breaker=CircuitBreaker(failure_threshold=3, reset_timeout=6.0,
+                                      clock=clock),
+        clock=clock,
+    )
+    injector = FaultInjector(schedule)
+    report = asyncio.run(_run_async(
+        server=server, scenario=scenario, item_to_source=item_to_source,
+        injector=injector, clock=clock, steps=steps,
+        audit_margin=audit_margin, register_timeout=register_timeout,
+    ))
+    report["schedule"] = schedule_name
+    report["fault_kinds"] = schedule.fault_kinds()
+    report["seed"] = seed
+    report["queries"] = queries
+    report["items"] = items
+    report["sources"] = sources
+    report["algorithm"] = algorithm
+    report["workload"] = workload
+    report["lease_duration_steps"] = lease_duration
+    report["passed"] = (report["qab_violations_unexcused"] == 0
+                        and not report["final_degraded_queries"])
+    if output:
+        path = Path(output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        report["output"] = str(path)
+    return report

@@ -285,22 +285,18 @@ class Coordinator:
         an assumed drift that grows with the item's staleness — the served
         answer carries its real uncertainty instead of a silently-broken
         QAB (the degradation Condition 1 cannot cover once deliveries are
-        lost)."""
-        extra = 0.0
+        lost).  The widening itself lives in
+        ``CoordinatorCore.uncertainty_widened_bound`` so the live server
+        degrades with exactly the same float math."""
         config = self.faults.config
         cache = self.core.cache
-        base = self.query_value(query)
+        drifts = {}
         for name in self.suspect_items_of(query):
             staleness = max(0.0, time - self.suspect_since[name])
-            drift = (config.suspect_drift_rel * max(abs(cache[name]), 1e-12)
-                     * (1.0 + staleness / config.lease_duration))
-            perturbed = dict(cache)
-            perturbed[name] = cache[name] + drift
-            up = abs(query.evaluate(perturbed) - base)
-            perturbed[name] = cache[name] - drift
-            down = abs(query.evaluate(perturbed) - base)
-            extra += max(up, down)
-        return query.qab + extra
+            drifts[name] = (config.suspect_drift_rel
+                            * max(abs(cache[name]), 1e-12)
+                            * (1.0 + staleness / config.lease_duration))
+        return self.core.uncertainty_widened_bound(query, drifts)
 
     # -- event handlers -----------------------------------------------------------------
 

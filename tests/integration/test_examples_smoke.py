@@ -43,12 +43,18 @@ class TestFastExamples:
         assert "refreshes crossed the wire" in out
         assert "QAB guarantee holds? True" in out
 
+    def test_chaos_portfolio(self, capsys):
+        out = run_example("chaos_portfolio.py", capsys)
+        assert "chaos schedule:" in out
+        assert "unexcused QAB violations: 0" in out
+        assert "verdict: PASS" in out
+
 
 class TestExamplesExist:
     @pytest.mark.parametrize("name", [
         "quickstart.py", "global_portfolio.py", "arbitrage_monitor.py",
         "oil_spill_tracking.py", "threshold_alert.py", "qab_negotiation.py",
-        "live_portfolio_service.py",
+        "live_portfolio_service.py", "chaos_portfolio.py",
     ])
     def test_present_and_has_main(self, name):
         source = (EXAMPLES / name).read_text()

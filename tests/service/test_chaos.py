@@ -1,0 +1,208 @@
+"""Wire-level fault injection: deterministic decisions over real frames."""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.service import protocol
+from repro.service.chaos import (
+    ChaosWriter,
+    FaultInjector,
+    FaultSchedule,
+    chaos_loopback_pair,
+    chaos_stream,
+)
+from repro.service.protocol import ProtocolError
+from repro.service.transports import TransportClosed, loopback_pair
+from repro.simulation.faults import CrashWindow, PartitionWindow
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+NEARLY_ALWAYS = 0.999999
+
+
+class TestFaultSchedule:
+    def test_rates_validated(self):
+        with pytest.raises(SimulationError):
+            FaultSchedule(drop_rate=1.0)
+        with pytest.raises(SimulationError):
+            FaultSchedule(corrupt_rate=-0.1)
+        with pytest.raises(SimulationError):
+            FaultSchedule(delay_steps=0)
+
+    def test_enabled_and_kinds(self):
+        assert not FaultSchedule().enabled
+        assert FaultSchedule().fault_kinds() == []
+        schedule = FaultSchedule(
+            drop_rate=0.1, partitions=(PartitionWindow(1.0, 2.0),),
+            crash_windows=(CrashWindow(0, 1.0, 2.0),))
+        assert schedule.enabled
+        assert schedule.fault_kinds() == ["drop", "partition", "agent_crash"]
+
+
+class TestNoOpGuard:
+    def test_disabled_schedule_leaves_stream_untouched(self):
+        async def check():
+            injector = FaultInjector(FaultSchedule())
+            client_end, server_end = loopback_pair()
+            wrapped = chaos_stream(client_end, injector, "a->b")
+            assert wrapped is client_end
+            assert not isinstance(client_end._writer, ChaosWriter)
+            await client_end.send(protocol.heartbeat(0, {}))
+            assert (await server_end.receive())["type"] == "heartbeat"
+            assert injector.trace == []
+
+        run(check())
+
+    def test_disabled_injector_draws_no_rng(self):
+        injector = FaultInjector()
+        injector.decide("a->b")
+        assert injector._streams == {}
+
+
+class TestDeterminism:
+    def _decisions(self, schedule, links):
+        injector = FaultInjector(schedule)
+        fates = []
+        for step in range(20):
+            injector.advance(step)
+            for link in links:
+                fates.append((step, link, tuple(sorted(
+                    injector.decide(link).items()))))
+        return fates, injector.digest()
+
+    def test_same_seed_same_trace(self):
+        schedule = FaultSchedule(drop_rate=0.3, duplicate_rate=0.2,
+                                 corrupt_rate=0.1, delay_rate=0.2,
+                                 disconnect_rate=0.1, seed=5)
+        a, digest_a = self._decisions(schedule, ["x->c", "c->x"])
+        b, digest_b = self._decisions(schedule, ["x->c", "c->x"])
+        assert a == b
+        assert digest_a == digest_b
+
+    def test_different_seed_different_trace(self):
+        base = dict(drop_rate=0.3, duplicate_rate=0.2, delay_rate=0.2)
+        _, digest_a = self._decisions(FaultSchedule(seed=1, **base), ["l"])
+        _, digest_b = self._decisions(FaultSchedule(seed=2, **base), ["l"])
+        assert digest_a != digest_b
+
+    def test_links_are_independent_substreams(self):
+        schedule = FaultSchedule(drop_rate=0.4, duplicate_rate=0.3, seed=9)
+        solo = FaultInjector(schedule)
+        solo_fates = [tuple(sorted(solo.decide("b->c").items()))
+                      for _ in range(15)]
+        mixed = FaultInjector(schedule)
+        mixed_fates = []
+        for _ in range(15):
+            mixed.decide("a->c")        # interleaved traffic on another link
+            mixed_fates.append(tuple(sorted(mixed.decide("b->c").items())))
+        assert solo_fates == mixed_fates
+
+
+class TestWindows:
+    def test_partition_drops_every_frame(self):
+        injector = FaultInjector(FaultSchedule(
+            partitions=(PartitionWindow(5.0, 8.0),)))
+        injector.advance(6)
+        assert injector.decide("a->c") == {"drop": True}
+        assert injector.counts["partition_drop"] == 1
+        injector.advance(8)
+        assert injector.decide("a->c") == {}
+
+    def test_loss_windows_confine_drops(self):
+        schedule = FaultSchedule(drop_rate=0.9,
+                                 loss_windows=(PartitionWindow(10.0, 20.0),),
+                                 seed=0)
+        outside = FaultInjector(schedule)
+        outside.advance(0)
+        assert not any(outside.decide("l").get("drop") for _ in range(50))
+        inside = FaultInjector(schedule)
+        inside.advance(15)
+        assert any(inside.decide("l").get("drop") for _ in range(50))
+
+    def test_is_crashed(self):
+        injector = FaultInjector(FaultSchedule(
+            crash_windows=(CrashWindow(1, 3.0, 6.0),)))
+        assert injector.is_crashed(1, 4)
+        assert not injector.is_crashed(1, 6)
+        assert not injector.is_crashed(0, 4)
+
+
+class TestWireFaults:
+    """Each fault channel exercised over real loopback frames."""
+
+    def _pair(self, **schedule_kwargs):
+        injector = FaultInjector(FaultSchedule(**schedule_kwargs))
+        client_end, server_end = chaos_loopback_pair(injector, "src0")
+        return injector, client_end, server_end
+
+    def test_drop_loses_the_frame(self):
+        async def check():
+            injector, client_end, server_end = self._pair(
+                drop_rate=NEARLY_ALWAYS)
+            await client_end.send(protocol.heartbeat(0, {}))
+            client_end.close()
+            assert await server_end.receive() is None     # EOF, no frame
+            assert injector.counts["drop"] >= 1
+
+        run(check())
+
+    def test_duplicate_is_delivered_twice(self):
+        async def check():
+            _, client_end, server_end = self._pair(
+                duplicate_rate=NEARLY_ALWAYS)
+            await client_end.send(protocol.heartbeat(0, {}))
+            first = await server_end.receive()
+            second = await server_end.receive()
+            assert first == second
+
+        run(check())
+
+    def test_corruption_is_always_detected(self):
+        async def check():
+            injector, client_end, server_end = self._pair(
+                corrupt_rate=NEARLY_ALWAYS)
+            await client_end.send(protocol.heartbeat(0, {}))
+            with pytest.raises(ProtocolError):
+                await server_end.receive()
+            assert injector.counts["corrupt"] == 1
+
+        run(check())
+
+    def test_delay_holds_until_clock_advances(self):
+        async def check():
+            injector, client_end, server_end = self._pair(
+                delay_rate=NEARLY_ALWAYS, delay_steps=2)
+            await client_end.send(protocol.heartbeat(0, {}))
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(server_end.receive(), 0.05)
+            injector.advance(2)
+            message = await asyncio.wait_for(server_end.receive(), 1.0)
+            assert message["type"] == "heartbeat"
+
+        run(check())
+
+    def test_disconnect_severs_both_ends(self):
+        async def check():
+            _, client_end, server_end = self._pair(
+                disconnect_rate=NEARLY_ALWAYS)
+            with pytest.raises(TransportClosed):
+                await client_end.send(protocol.heartbeat(0, {}))
+            assert await server_end.receive() is None
+
+        run(check())
+
+    def test_trace_rows_shape(self):
+        injector, client_end, _ = self._pair(duplicate_rate=NEARLY_ALWAYS)
+
+        async def check():
+            await client_end.send(protocol.heartbeat(0, {}))
+
+        run(check())
+        (row,) = injector.trace_rows()
+        assert row == {"step": 0, "link": "src0->coord",
+                       "fault": "duplicate", "frame": 1}

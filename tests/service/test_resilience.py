@@ -1,0 +1,149 @@
+"""RetryPolicy backoff/jitter and the CircuitBreaker state machine."""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.service.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    RetryExhausted,
+    RetryPolicy,
+    retry_async,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestRetryPolicy:
+    def test_exponential_schedule_capped(self):
+        policy = RetryPolicy(base_delay=1.0, backoff=2.0, max_delay=5.0,
+                             max_attempts=5)
+        assert list(policy.delays()) == [1.0, 2.0, 4.0, 5.0, 5.0]
+
+    def test_jitter_is_deterministic(self):
+        a = RetryPolicy(base_delay=1.0, jitter=0.5, seed=7)
+        b = RetryPolicy(base_delay=1.0, jitter=0.5, seed=7)
+        assert list(a.delays()) == list(b.delays())
+        assert all(1.0 <= d for d in a.delays())
+        stretched = RetryPolicy(base_delay=1.0, backoff=1.0, jitter=0.5,
+                                seed=7, max_attempts=4)
+        assert len(set(stretched.delays())) > 1    # per-attempt substreams
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ReproError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ReproError):
+            RetryPolicy(base_delay=-1.0)
+
+    def test_retry_async_succeeds_after_failures(self):
+        attempts = []
+
+        async def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ConnectionError("flap")
+            return "ok"
+
+        slept = []
+
+        async def sleep(delay):
+            slept.append(delay)
+
+        policy = RetryPolicy(base_delay=0.5, backoff=2.0, max_attempts=5)
+        assert run(retry_async(policy, flaky, sleep=sleep)) == "ok"
+        assert len(attempts) == 3
+        assert slept == [0.5, 1.0]
+
+    def test_retry_async_gives_up(self):
+        seen = []
+
+        async def always_down():
+            raise ConnectionError("down")
+
+        async def sleep(_delay):
+            pass
+
+        policy = RetryPolicy(base_delay=0.0, max_attempts=3)
+        with pytest.raises(RetryExhausted):
+            run(retry_async(policy, always_down, sleep=sleep,
+                            on_give_up=seen.append))
+        assert len(seen) == 1 and isinstance(seen[0], ConnectionError)
+
+    def test_retry_async_only_retries_listed_errors(self):
+        async def boom():
+            raise ValueError("not retryable")
+
+        policy = RetryPolicy(base_delay=0.0, max_attempts=3)
+        with pytest.raises(ValueError):
+            run(retry_async(policy, boom, retry_on=(ConnectionError,)))
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=10.0,
+                                 clock=clock)
+        assert breaker.allow()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        assert breaker.stats["opens"] == 1
+        assert breaker.stats["rejected_calls"] == 1
+
+    def test_half_open_probe_then_recovery(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0,
+                                 clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.now = 11.0
+        assert breaker.allow()                       # the half-open probe
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert not breaker.allow()                   # one probe at a time
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+        assert breaker.stats["recoveries"] == 1
+        assert breaker.stats["open_seconds"] == pytest.approx(11.0)
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.now = 6.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()                   # timer restarted
+        assert breaker.stats["opens"] == 2
+
+    def test_success_resets_failure_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ReproError):
+            CircuitBreaker(reset_timeout=0.0)

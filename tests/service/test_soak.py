@@ -1,0 +1,60 @@
+"""The chaos soak harness end-to-end: audits, determinism, no-op guard."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.service.chaos import FaultSchedule
+from repro.service.soak import named_schedule, run_chaos_soak
+
+SMALL = dict(queries=4, items=20, sources=2, seed=3)
+
+
+class TestNamedSchedules:
+    def test_unknown_name_raises(self):
+        with pytest.raises(ReproError, match="unknown chaos schedule"):
+            named_schedule("tornado")
+
+    def test_profiles_enumerate_their_faults(self):
+        for name in ("smoke", "ci", "heavy"):
+            schedule, steps = named_schedule(name, seed=1)
+            assert schedule.enabled
+            assert steps > 0
+            assert len(schedule.fault_kinds()) >= 3
+
+    def test_seed_threads_into_schedule(self):
+        a, _ = named_schedule("smoke", seed=1)
+        b, _ = named_schedule("smoke", seed=2)
+        assert a.seed != b.seed
+
+
+class TestSoakRun:
+    def test_smoke_profile_passes_and_writes_report(self, tmp_path):
+        out = tmp_path / "BENCH_chaos.json"
+        report = run_chaos_soak(schedule="smoke", output=str(out), **SMALL)
+        assert report["passed"] is True
+        assert report["qab_violations_unexcused"] == 0
+        assert report["audits"] > 0
+        assert report["fault_events"] > 0
+        assert report["final_degraded_queries"] == []
+        on_disk = json.loads(out.read_text())
+        assert on_disk["fault_trace_digest"] == report["fault_trace_digest"]
+
+    def test_same_seed_is_bit_identical(self):
+        a = run_chaos_soak(schedule="smoke", **SMALL)
+        b = run_chaos_soak(schedule="smoke", **SMALL)
+        assert a["fault_trace_digest"] == b["fault_trace_digest"]
+        assert a["fault_counts"] == b["fault_counts"]
+        assert a["audits"] == b["audits"]
+        assert a["refreshes_total"] == b["refreshes_total"]
+
+    def test_empty_schedule_is_a_clean_noop(self):
+        report = run_chaos_soak(schedule=FaultSchedule(), steps=12, **SMALL)
+        assert report["passed"] is True
+        assert report["schedule"] == "custom"
+        assert report["fault_events"] == 0
+        assert report["fault_counts"] == {}
+        assert report["qab_violations_unexcused"] == 0
+        assert report["qab_violations_excused_degraded"] == 0
+        assert report["recovery_episodes"] == 0
