@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 import os
 
+from repro.service.journal import Journal
 from repro.service.loadgen import run_loadgen
 
 RESULT_NAME = "BENCH_service.json"
@@ -30,6 +31,9 @@ POINTS = {
 
 MODE = os.environ.get("REPRO_BENCH_SERVICE", "full")
 NAMES = ("smoke",) if MODE == "smoke" else ("smoke", "full")
+
+#: records per fsync-policy point in the journal overhead micro-bench.
+JOURNAL_RECORDS = 500 if MODE == "smoke" else 5000
 
 
 def test_bench_service(results_dir):
@@ -45,3 +49,29 @@ def test_bench_service(results_dir):
         f"{name}: {existing[name]['ticks_per_second']:.0f} ticks/s"
         for name in NAMES)
     print(f"\nservice bench ({MODE}): {summary} -> {path}")
+
+
+def test_bench_journal_write_overhead(results_dir, tmp_path):
+    """The durability tax: per-append wall time with fsync on vs off —
+    the number a deployment trades against machine-crash durability."""
+    path = results_dir / RESULT_NAME
+    existing = json.loads(path.read_text()) if path.exists() else {}
+    record = {"t": "refresh", "item": "x0", "value": 123.456789, "seq": 1}
+    entry = {"records_per_policy": JOURNAL_RECORDS}
+    for policy in ("always", "interval", "off"):
+        journal = Journal(str(tmp_path / policy), fsync=policy).open()
+        for seq in range(JOURNAL_RECORDS):
+            journal.append(dict(record, seq=seq + 1))
+        stats = journal.stats()
+        journal.close()
+        assert stats["records"] == JOURNAL_RECORDS
+        entry[policy] = {"append_ms": stats["append_ms"],
+                         "fsyncs": stats["fsyncs"],
+                         "wal_bytes": stats["wal_bytes"]}
+    existing["journal_write_overhead"] = entry
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+    rendered = ", ".join(
+        f"{policy}: p50={entry[policy]['append_ms']['p50']:.3f}ms"
+        for policy in ("always", "interval", "off"))
+    print(f"\njournal write overhead ({JOURNAL_RECORDS} records): "
+          f"{rendered} -> {path}")

@@ -277,14 +277,27 @@ def _service_trace_length(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.service.journal import Journal
     from repro.service.server import build_scenario_server
 
+    journal = None
+    if args.journal:
+        journal = Journal(args.journal, fsync=args.fsync,
+                          snapshot_every=args.snapshot_every)
     server, scenario, item_to_source = build_scenario_server(
         query_count=args.queries, item_count=args.items,
         source_count=args.sources, trace_length=args.trace_length,
         seed=args.seed, algorithm=args.algorithm, recompute_cost=args.mu,
         workload=args.workload,
+        journal=journal, bootstrap=journal is None,
     )
+    if journal is not None:
+        recovery = server.restore()
+        print(f"journal {args.journal}: "
+              f"snapshot@{recovery['snapshot_index']}, "
+              f"{recovery['records_replayed']} records replayed in "
+              f"{recovery['recovery_seconds'] * 1000:.1f}ms "
+              f"(fsync={args.fsync})", flush=True)
 
     async def _serve() -> None:
         host, port = await server.serve_tcp(args.host, args.port)
@@ -304,6 +317,40 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"\nshutting down: {stats['refreshes']} refreshes, "
               f"{stats['recomputations']} recomputations, "
               f"{stats['notifies_sent']} notifies")
+    return 0
+
+
+def cmd_journal(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.service.journal import Journal, JournalError
+
+    journal = Journal(args.directory)
+    try:
+        summary = journal.describe(last=args.last)
+    except JournalError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"journal              {summary['directory']}")
+    print(f"WAL                  {summary['wal_bytes']} bytes, "
+          f"{summary['records']} records"
+          + (f" ({summary['torn_tail_bytes']} torn-tail bytes pending "
+             f"truncation)" if summary["torn_tail_bytes"] else ""))
+    if summary["records_by_type"]:
+        rendered = ", ".join(f"{kind}={count}" for kind, count
+                             in summary["records_by_type"].items())
+        print(f"records by type      {rendered}")
+    for snap in summary["snapshots"]:
+        print(f"snapshot             {snap['file']} "
+              f"(covers records 0..{snap['record_index']}, "
+              f"{snap['bytes']} bytes)")
+    print(f"replay tail          {summary['replay_tail_records']} records "
+          f"after snapshot@{summary['latest_snapshot_index']}")
+    for record in summary["last_records"]:
+        print(f"  tail record        {_json.dumps(record, sort_keys=True)}")
     return 0
 
 
@@ -414,12 +461,21 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
 def cmd_chaos_soak(args: argparse.Namespace) -> int:
     from repro.service.soak import run_chaos_soak
 
+    kill_steps = None
+    if args.kill_steps:
+        try:
+            kill_steps = [int(s) for s in args.kill_steps.split(",") if s]
+        except ValueError:
+            raise SystemExit(f"error: --kill-steps expects comma-separated "
+                             f"integers, got {args.kill_steps!r}")
     report = run_chaos_soak(
         schedule=args.schedule, steps=args.steps,
         queries=args.queries, items=args.items, sources=args.sources,
         seed=args.seed, algorithm=args.algorithm, workload=args.workload,
         lease_duration=args.lease_duration,
         output=args.output or None,
+        journal_dir=args.journal or None, kill_steps=kill_steps,
+        snapshot_every=args.snapshot_every, fsync=args.fsync,
     )
     print(f"schedule             {report['schedule']} "
           f"({', '.join(report['fault_kinds'])})")
@@ -444,6 +500,17 @@ def cmd_chaos_soak(args: argparse.Namespace) -> int:
         rendered = ", ".join(f"{k}={v:.0f}" for k, v in sorted(overhead.items()))
         print(f"refreshes per step   {rendered} "
               f"(total {report['refreshes_total']})")
+    recovery_section = report.get("coordinator_recovery") or {}
+    if recovery_section.get("kills"):
+        append = recovery_section.get("journal_append_ms") or {}
+        rendered = ", ".join(f"{k}={v:.2f}ms" for k, v in sorted(append.items()))
+        print(f"coordinator kills    {recovery_section['kills']} at steps "
+              f"{recovery_section.get('kill_steps', [])}: "
+              f"{recovery_section['records_replayed_total']} records "
+              f"replayed, worst recovery "
+              f"{recovery_section['recovery_seconds_max'] * 1000:.1f}ms")
+        if rendered:
+            print(f"journal append       {rendered}")
     if report["final_degraded_queries"]:
         print(f"STILL DEGRADED       {report['final_degraded_queries']}")
     if report.get("output"):
@@ -589,7 +656,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=DEFAULT_SERVICE_PORT)
     serve.add_argument("--mu", type=float, default=5.0,
                        help="recomputation cost in messages")
+    serve.add_argument("--journal", default=None, metavar="DIR",
+                       help="journal coordinator state to DIR (write-ahead "
+                            "log + periodic snapshots); on start, restore "
+                            "from the newest snapshot and replay the tail")
+    serve.add_argument("--snapshot-every", type=int, default=500,
+                       help="compact a snapshot every N journal records")
+    serve.add_argument("--fsync", choices=["always", "interval", "off"],
+                       default="always",
+                       help="journal fsync policy: what a machine crash "
+                            "(not just a process kill) can lose")
     serve.set_defaults(func=cmd_serve)
+
+    journal = sub.add_parser("journal",
+                             help="inspect an on-disk coordinator journal")
+    journal_sub = journal.add_subparsers(dest="journal_command", required=True)
+    inspect = journal_sub.add_parser(
+        "inspect", help="summarise a journal directory: WAL records, "
+                        "snapshots, replay tail, torn bytes")
+    inspect.add_argument("directory", help="the --journal directory")
+    inspect.add_argument("--last", type=int, default=5,
+                         help="show the final N records")
+    inspect.add_argument("--json", action="store_true",
+                         help="emit the summary as JSON")
+    inspect.set_defaults(func=cmd_journal)
 
     agent = sub.add_parser("agent",
                            help="run source agent(s) replaying traces "
@@ -632,9 +722,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="soak the live service under injected "
                                "wire faults and audit QAB compliance")
     soak.add_argument("--schedule", default="ci",
-                      choices=["smoke", "ci", "heavy"],
+                      choices=["smoke", "ci", "heavy", "restart"],
                       help="named fault schedule (loss + partition + "
-                           "agent crash, increasing intensity)")
+                           "agent crash, increasing intensity; 'restart' "
+                           "adds coordinator kill/restore)")
     soak.add_argument("--steps", type=int, default=None,
                       help="trace steps to soak (default: the schedule's "
                            "budget)")
@@ -651,6 +742,16 @@ def build_parser() -> argparse.ArgumentParser:
                                "uniform_baseline", "laq"])
     soak.add_argument("--lease-duration", type=float, default=3.0,
                       help="staleness lease in logical steps")
+    soak.add_argument("--journal", default=None, metavar="DIR",
+                      help="journal the coordinator to DIR (a temp dir is "
+                           "created when kills are requested without one)")
+    soak.add_argument("--kill-steps", default=None, metavar="S1,S2,...",
+                      help="kill/restore the coordinator at these steps "
+                           "(default: the schedule's, e.g. restart=9,24)")
+    soak.add_argument("--snapshot-every", type=int, default=50,
+                      help="compact a snapshot every N journal records")
+    soak.add_argument("--fsync", choices=["always", "interval", "off"],
+                      default="always", help="journal fsync policy")
     soak.add_argument("--output",
                       default="benchmarks/results/BENCH_chaos.json",
                       help="write the JSON report here ('' to skip)")

@@ -101,6 +101,7 @@ class CoordinatorCore:
         names = [q.name for q in queries]
         if len(set(names)) != len(names):
             raise SimulationError("query names must be unique at a coordinator")
+        self.query_names = frozenset(names)
         if mode is RecomputeMode.AAO_PERIODIC:
             if aao_planner is None or aao_period is None or aao_period < 1:
                 raise SimulationError(
@@ -127,6 +128,12 @@ class CoordinatorCore:
         #: query name -> (source plan, its shrunk stand-in) while the
         #: breaker is open (cached so shrinkage never compounds).
         self._breaker_plans: Dict[str, Tuple[DABAssignment, DABAssignment]] = {}
+        #: Optional write-ahead journal (:mod:`repro.service.journal`).
+        #: ``None`` — the default, and what the simulator always uses —
+        #: leaves every code path identical to the journal-less core.
+        #: Attached by :meth:`CoordinatorServer.restore` *after* replay so
+        #: recovery itself is never re-journaled.
+        self.journal: Optional[object] = None
 
         self.cache: Dict[str, float] = {
             name: float(initial_values[name])
@@ -398,16 +405,33 @@ class CoordinatorCore:
         plan = self._plan_query(query)
         self.plans[query.name] = plan
         self.metrics.record_recomputation(query.name)
+        if self.journal is not None:
+            from repro.service.journal import plan_to_wire
+
+            self.journal.append({"t": "plan", "q": query.name,
+                                 "plan": plan_to_wire(plan)})
         if self.recompute_hook is not None:
             self.recompute_hook()
 
     # -- refresh processing ------------------------------------------------------------
 
-    def apply_refresh(self, item: str, value: float) -> None:
-        """An accepted refresh: the item's cached value moves to ``value``."""
+    def apply_refresh(self, item: str, value: float,
+                      seq: Optional[int] = None) -> None:
+        """An accepted refresh: the item's cached value moves to ``value``.
+
+        ``seq`` — the accepted per-item sequence number, passed by the
+        live server so the journal record carries the dedup high-water
+        mark a restarted coordinator must restore.  The simulator never
+        passes it (and never journals).
+        """
         self.cache[item] = float(value)
         if self._vectorize:
             self._power_table.update(self._power_vector, item, self.cache[item])
+        if self.journal is not None:
+            record = {"t": "refresh", "item": item, "value": self.cache[item]}
+            if seq is not None:
+                record["seq"] = int(seq)
+            self.journal.append(record)
         self.metrics.record_refresh()
 
     def react_to_refresh(self, item: str) -> Tuple[List[Tuple[str, float]], bool]:
@@ -493,6 +517,11 @@ class CoordinatorCore:
                     if plan is None or not self._window_contains(query, plan):
                         self._recompute(query)
                         recomputed = True
+        if notifications and self.journal is not None:
+            # last_user_values gates every future notification, so the
+            # values the user saw are part of the recovery state.
+            self.journal.append({"t": "notify",
+                                 "values": dict(notifications)})
         return notifications, recomputed
 
     # -- plan fanout -------------------------------------------------------------------
@@ -506,15 +535,22 @@ class CoordinatorCore:
         overhead μ approximates)."""
         merged = merge_primary(self.plans.values())
         changed_by_source: Dict[int, Dict[str, float]] = {}
+        changed_bounds: Dict[str, float] = {}
         for name, bound in merged.items():
             previous = self._last_sent_bounds.get(name)
             if previous is not None and abs(bound - previous) <= _DAB_CHANGE_REL_TOL * previous:
                 continue
             self._last_sent_bounds[name] = bound
             self.epochs[name] = self.epochs.get(name, 0) + 1
+            changed_bounds[name] = bound
             source_id = self.item_to_source.get(name)
             if source_id is not None:
                 changed_by_source.setdefault(source_id, {})[name] = bound
+        if changed_bounds and self.journal is not None:
+            self.journal.append({
+                "t": "bounds", "bounds": changed_bounds,
+                "epochs": {name: self.epochs[name] for name in changed_bounds},
+            })
         updates: Dict[int, BoundUpdate] = {}
         for source_id, bounds in changed_by_source.items():
             epochs = {name: self.epochs[name] for name in bounds}
@@ -547,4 +583,65 @@ class CoordinatorCore:
             return False
         self.plans = dict(multi.per_query)
         self.metrics.record_recomputation("__aao__")
+        if self.journal is not None:
+            from repro.service.journal import plan_to_wire
+
+            self.journal.append({
+                "t": "aao",
+                "plans": {name: plan_to_wire(plan)
+                          for name, plan in sorted(self.plans.items())},
+            })
         return True
+
+    # -- durability (snapshot / replay) ------------------------------------------------
+
+    def recovery_state(self) -> Dict[str, object]:
+        """Everything a restarted coordinator must restore to be
+        indistinguishable from this one, as a JSON-safe dict: the item
+        cache, per-item DAB epochs, the bounds each source last saw, the
+        values each user last saw, and every current plan (which is also
+        the breaker's last-good plan set)."""
+        from repro.service.journal import plan_to_wire
+
+        return {
+            "cache": dict(self.cache),
+            "epochs": dict(self.epochs),
+            "last_sent_bounds": dict(self._last_sent_bounds),
+            "last_user_values": dict(self.last_user_values),
+            "plans": {name: plan_to_wire(plan)
+                      for name, plan in sorted(self.plans.items())},
+        }
+
+    def restore_recovery_state(self, state: Mapping[str, object]) -> None:
+        """Adopt a :meth:`recovery_state` snapshot wholesale."""
+        from repro.service.journal import plan_from_wire
+
+        for item, value in state["cache"].items():
+            self.restore_cache_value(item, float(value))
+        self.epochs = {name: int(epoch)
+                       for name, epoch in state["epochs"].items()}
+        self._last_sent_bounds = {name: float(bound) for name, bound
+                                  in state["last_sent_bounds"].items()}
+        for name, value in state["last_user_values"].items():
+            self.restore_user_value(name, float(value))
+        self.plans = {name: plan_from_wire(wire)
+                      for name, wire in state["plans"].items()}
+        # Identity-keyed caches are meaningless across a restart.
+        self._window_state.clear()
+        self._breaker_plans.clear()
+
+    def restore_cache_value(self, item: str, value: float) -> None:
+        """Set one cached value during replay — no metrics, no journal."""
+        if item not in self.cache:
+            return
+        self.cache[item] = float(value)
+        if self._vectorize:
+            self._power_table.update(self._power_vector, item, self.cache[item])
+
+    def restore_user_value(self, name: str, value: float) -> None:
+        """Set one last-user-visible value during replay."""
+        if name not in self.query_names:
+            return
+        self.last_user_values[name] = float(value)
+        if self._last_user_arr is not None:
+            self._last_user_arr[self._bank_index[name]] = float(value)

@@ -177,11 +177,36 @@ _OPTIONAL: Dict[MessageType, Dict[str, Callable[[object], bool]]] = {
 # framing
 # ---------------------------------------------------------------------------
 
+def encode_body(message: Mapping[str, Any]) -> bytes:
+    """The canonical byte encoding of one message (compact sorted JSON,
+    non-finite floats rejected).  Shared by the wire framing below and by
+    the coordinator's write-ahead journal, so journal records are decoded
+    by exactly the code path that decodes wire frames."""
+    return json.dumps(message, separators=(",", ":"), sort_keys=True,
+                      allow_nan=False).encode("utf-8")
+
+
+def decode_body(body: bytes) -> Dict[str, Any]:
+    """Parse one encoded body back into a message dict.
+
+    Raises :class:`ProtocolError` on undecodable bytes, non-finite JSON
+    constants, or a body that is not a JSON object — the same failure
+    surface whether the bytes came off a socket or out of a journal."""
+    try:
+        message = json.loads(body.decode("utf-8"),
+                             parse_constant=_reject_constant)
+    except (UnicodeDecodeError, ValueError) as error:
+        raise ProtocolError(f"undecodable frame body: {error}")
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(message).__name__}")
+    return message
+
+
 def encode_frame(message: Mapping[str, Any],
                  max_frame_bytes: int = MAX_FRAME_BYTES) -> bytes:
     """One wire frame for ``message`` (length prefix + compact JSON)."""
-    body = json.dumps(message, separators=(",", ":"), sort_keys=True,
-                      allow_nan=False).encode("utf-8")
+    body = encode_body(message)
     if len(body) > max_frame_bytes:
         raise ProtocolError(
             f"outgoing frame of {len(body)} bytes exceeds the "
@@ -229,16 +254,10 @@ class FrameDecoder:
             body = bytes(self._buffer[HEADER_BYTES:HEADER_BYTES + length])
             del self._buffer[:HEADER_BYTES + length]
             try:
-                message = json.loads(body.decode("utf-8"),
-                                     parse_constant=_reject_constant)
-            except (UnicodeDecodeError, ValueError) as error:
+                messages.append(decode_body(body))
+            except ProtocolError:
                 self._poisoned = True
-                raise ProtocolError(f"undecodable frame body: {error}")
-            if not isinstance(message, dict):
-                self._poisoned = True
-                raise ProtocolError(
-                    f"frame body must be a JSON object, got {type(message).__name__}")
-            messages.append(message)
+                raise
 
 
 def validate_message(message: Mapping[str, Any]) -> MessageType:

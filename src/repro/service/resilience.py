@@ -130,14 +130,21 @@ class CircuitBreaker:
     """
 
     def __init__(self, failure_threshold: int = 3, reset_timeout: float = 30.0,
-                 clock: Callable[[], float] = _time.monotonic):
+                 clock: Optional[Callable[[], float]] = None):
         if failure_threshold < 1:
             raise ReproError("failure_threshold must be >= 1")
         if reset_timeout <= 0.0:
             raise ReproError("reset_timeout must be > 0")
         self.failure_threshold = int(failure_threshold)
         self.reset_timeout = float(reset_timeout)
-        self.clock = clock
+        #: ``None`` means "no clock was injected": the owner that embeds
+        #: this breaker (the server) replaces it with its own clock via
+        #: :meth:`bind_clock`, so one time source rules the whole service
+        #: instead of the breaker silently ticking ``time.monotonic``
+        #: while everything else runs on ``time.time`` or a step clock.
+        self._clock_injected = clock is not None
+        self.clock: Callable[[], float] = (
+            clock if clock is not None else _time.monotonic)
         self.state = BreakerState.CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
@@ -150,6 +157,14 @@ class CircuitBreaker:
             "recoveries": 0,
             "open_seconds": 0.0,
         }
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Adopt the owner's time source — unless the constructor already
+        received an explicit clock, which always wins (a soak harness
+        wiring its step clock in directly must not be overridden)."""
+        if not self._clock_injected:
+            self.clock = clock
+            self._clock_injected = True
 
     def allow(self) -> bool:
         """May the next protected call proceed?"""

@@ -36,6 +36,7 @@ from repro.exceptions import ReproError
 from repro.queries.polynomial import PolynomialQuery
 from repro.service import protocol
 from repro.service.core import CoordinatorCore, RecomputeMode
+from repro.service.journal import Journal, JournalError, plan_from_wire
 from repro.service.protocol import MessageType, ProtocolError
 from repro.service.resilience import RetryPolicy
 from repro.service.transports import MessageStream, TransportClosed, loopback_pair
@@ -86,6 +87,8 @@ class CoordinatorServer:
         dab_retry_policy: Optional[RetryPolicy] = None,
         solver_breaker: Optional[object] = None,
         clock: Callable[[], float] = _time.time,
+        journal: Optional[Journal] = None,
+        bootstrap: bool = True,
     ):
         self.metrics = metrics if metrics is not None else MetricsCollector(
             recompute_cost=recompute_cost)
@@ -95,7 +98,20 @@ class CoordinatorServer:
             aao_planner=aao_planner, aao_period=aao_period,
             vectorize=vectorize, solver_breaker=solver_breaker,
         )
-        self.core.bootstrap()
+        #: ``bootstrap=False`` defers the initial GP solves to
+        #: :meth:`restore` — the journaled start path, where a snapshot
+        #: usually supersedes them and solving first would be waste.
+        self._bootstrapped = False
+        if bootstrap:
+            self.core.bootstrap()
+            self._bootstrapped = True
+        #: Optional write-ahead journal; :meth:`restore` must be called
+        #: before serving when one is configured.  ``None`` leaves every
+        #: code path byte-identical to the journal-less server.
+        self.journal = journal
+        self._journal_attached = False
+        #: The last :meth:`restore` report (records replayed, wall time).
+        self.last_recovery: Optional[Dict[str, Any]] = None
         self.notify_queue_limit = int(notify_queue_limit)
         self._query_names = {query.name for query in self.core.queries}
 
@@ -105,6 +121,10 @@ class CoordinatorServer:
         #: The time source for all liveness bookkeeping — wall clock by
         #: default, a logical step clock under the chaos soak.
         self.clock = clock
+        #: One clock end-to-end: a breaker built without an explicit
+        #: clock inherits ours instead of silently ticking wall time.
+        if solver_breaker is not None and hasattr(solver_breaker, "bind_clock"):
+            solver_breaker.bind_clock(clock)
         #: ``None`` disables the staleness-lease machinery entirely (the
         #: default: behaviour is then byte-identical to the pre-lease
         #: server).  Units are whatever ``clock`` counts.
@@ -204,7 +224,22 @@ class CoordinatorServer:
         self.adopt_connection(server_end)
         return client_end
 
-    async def close(self) -> None:
+    async def close(self, final_snapshot: bool = True) -> None:
+        """Shut down.  ``final_snapshot=False`` models a hard kill: the
+        journal handle is dropped with no parting snapshot, so the next
+        start must recover from the WAL tail alone (every append is
+        unbuffered, so nothing accepted before the kill is lost)."""
+        if self.journal is not None and self._journal_attached:
+            self.core.journal = None
+            self._journal_attached = False
+            if final_snapshot:
+                try:
+                    self.journal.write_snapshot(self._recovery_state())
+                except OSError:
+                    pass               # best effort; the WAL stays authoritative
+            # Appends are unbuffered, so closing the handle loses nothing
+            # even on the kill path — only the parting snapshot is skipped.
+            self.journal.close()
         if self._maintenance_task is not None:
             self._maintenance_task.cancel()
             try:
@@ -227,6 +262,129 @@ class CoordinatorServer:
                 await task
             except (asyncio.CancelledError, Exception):
                 pass
+
+    # -- durability ------------------------------------------------------------------
+
+    def _recovery_state(self) -> Dict[str, Any]:
+        """Everything a restarted coordinator needs that is not derivable
+        from the scenario itself: the core's cache/epochs/plans plus the
+        server-plane seq high-water marks and lease bookkeeping.
+        Outstanding DAB retries and the message-id counter are *not*
+        persisted — re-registration re-programs every bound, superseding
+        them (the same guarantee a source reconnect leans on)."""
+        return {
+            "core": self.core.recovery_state(),
+            "server": {
+                "last_seq": dict(self.last_seq),
+                "suspect_since": dict(self.suspect_since),
+                "item_last_heard": dict(self._item_last_heard),
+            },
+        }
+
+    def _restore_snapshot_state(self, state: Mapping[str, Any]) -> None:
+        core_state = state.get("core")
+        if isinstance(core_state, Mapping):
+            self.core.restore_recovery_state(core_state)
+        server_state = state.get("server")
+        if isinstance(server_state, Mapping):
+            for name, seq in (server_state.get("last_seq") or {}).items():
+                self.last_seq[str(name)] = int(seq)
+            for name, since in (server_state.get("suspect_since") or {}).items():
+                self.suspect_since[str(name)] = float(since)
+            for name, at in (server_state.get("item_last_heard") or {}).items():
+                self._item_last_heard[str(name)] = float(at)
+
+    def _replay_record(self, record: Mapping[str, Any]) -> None:
+        """Apply one journal record directly to state — no metrics, no
+        fanout, no re-journaling; replay must be side-effect free so a
+        double restore converges on the same state."""
+        kind = record.get("t")
+        if kind == "refresh":
+            item = str(record["item"])
+            seq = record.get("seq")
+            if seq is not None:
+                self.last_seq[item] = max(self.last_seq.get(item, 0), int(seq))
+            self.core.restore_cache_value(item, float(record["value"]))
+        elif kind == "plan":
+            name = str(record["q"])
+            if name in self.core.query_names:
+                self.core.plans[name] = plan_from_wire(record["plan"])
+        elif kind == "aao":
+            for name, plan in (record.get("plans") or {}).items():
+                if str(name) in self.core.query_names:
+                    self.core.plans[str(name)] = plan_from_wire(plan)
+        elif kind == "bounds":
+            for name, bound in (record.get("bounds") or {}).items():
+                if str(name) in self.core.cache:
+                    self.core._last_sent_bounds[str(name)] = float(bound)
+            for name, epoch in (record.get("epochs") or {}).items():
+                if str(name) in self.core.cache:
+                    self.core.epochs[str(name)] = int(epoch)
+        elif kind == "notify":
+            for name, value in (record.get("values") or {}).items():
+                self.core.restore_user_value(str(name), float(value))
+        else:
+            raise JournalError(f"unknown journal record type {kind!r}")
+
+    def restore(self) -> Dict[str, Any]:
+        """The journaled start path: open the WAL (truncating any torn
+        tail), load the newest intact snapshot, replay the journal tail on
+        top, and only then attach the journal so new work is logged.
+
+        A fresh/empty directory falls through to the ordinary bootstrap
+        plus an initial snapshot, so first-start behaviour matches the
+        journal-less server exactly.  Restarted sources re-attach through
+        the existing reconnect machinery: their registration reply carries
+        the restored seq high-water marks and current bounds/epochs.
+        """
+        if self.journal is None:
+            raise JournalError("restore() called on a server with no journal")
+        if self._journal_attached:
+            raise JournalError("restore() called twice")
+        started = _time.perf_counter()
+        journal = self.journal.open()
+        snapshot = journal.latest_snapshot()
+        replay_start = 0
+        snapshot_index: Optional[int] = None
+        if snapshot is not None:
+            snapshot_index, state = snapshot
+            self._restore_snapshot_state(state)
+            self._bootstrapped = True
+            replay_start = snapshot_index
+        elif not self._bootstrapped:
+            # Fresh directory — or every snapshot unreadable: bootstrap
+            # first (mirroring the original start), then let any surviving
+            # WAL records replay on top of it.
+            self.core.bootstrap()
+            self._bootstrapped = True
+        replayed = 0
+        for record in journal.records(start=replay_start):
+            self._replay_record(record)
+            replayed += 1
+        if snapshot is None and replayed == 0:
+            # Truly fresh: persist the starting point as snapshot zero so
+            # the first compaction has a floor to measure from.
+            journal.write_snapshot(self._recovery_state())
+        elif replayed:
+            # Replayed plans/values may be far from any cached warm start.
+            self.core.clear_planner_warm_starts()
+        self.core.journal = journal
+        self._journal_attached = True
+        self.last_recovery = {
+            "snapshot_index": snapshot_index,
+            "records_replayed": replayed,
+            "recovery_seconds": _time.perf_counter() - started,
+            "truncated_tail_bytes": journal.truncated_tail_bytes,
+        }
+        return dict(self.last_recovery)
+
+    def _maybe_snapshot(self, force: bool = False) -> None:
+        """Compact the recovery point once enough records accumulated."""
+        if self.journal is None or not self._journal_attached:
+            return
+        if force or (self.journal.records_since_snapshot
+                     >= self.journal.snapshot_every):
+            self.journal.write_snapshot(self._recovery_state())
 
     # -- connection handling -------------------------------------------------------
 
@@ -352,7 +510,7 @@ class CoordinatorServer:
         if self.lease_duration is not None:
             self._hear_from_item(item, now)
             self._fanout_degraded_if_changed()
-        self.core.apply_refresh(item, float(message["value"]))
+        self.core.apply_refresh(item, float(message["value"]), seq=seq)
         self.stats["refreshes_accepted"] += 1
         if message.get("resync"):
             self.core.clear_planner_warm_starts()
@@ -362,6 +520,7 @@ class CoordinatorServer:
         if notifications:
             self._fanout_notifications(notifications,
                                        message.get("sent_at"))
+        self._maybe_snapshot()
 
     async def _fanout_bound_changes(self) -> None:
         for source_id, (bounds, epochs) in self.core.changed_bound_updates().items():
@@ -583,7 +742,7 @@ class CoordinatorServer:
         degraded = self.degraded_bounds()
         for sub in list(self._subscribers.values()):
             message = protocol.notify(
-                [], sent_at=_time.time(),
+                [], sent_at=self.clock(),
                 degraded={name: bound for name, bound in degraded.items()
                           if sub.wants(name)})
             try:
@@ -629,7 +788,7 @@ class CoordinatorServer:
                               refresh_sent_at: Optional[float]) -> None:
         """One batched NOTIFY per interested subscriber, through its
         bounded queue; a full queue evicts the slow consumer."""
-        now = _time.time()
+        now = self.clock()
         degraded = (self.degraded_bounds()
                     if self.lease_duration is not None and self.suspect_since
                     else None)
@@ -718,6 +877,10 @@ class CoordinatorServer:
         if self.solver_breaker is not None:
             stats["solver_breaker_state"] = self.solver_breaker.state.value
             stats["solver_breaker"] = dict(self.solver_breaker.stats)
+        if self.journal is not None and self._journal_attached:
+            stats["journal"] = self.journal.stats()
+            if self.last_recovery is not None:
+                stats["last_recovery"] = dict(self.last_recovery)
         return stats
 
 

@@ -43,13 +43,14 @@ from __future__ import annotations
 import asyncio
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Set, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.exceptions import ReproError
 from repro.service import protocol
 from repro.service.agent import SourceAgent, agents_for_scenario
 from repro.service.chaos import FaultInjector, FaultSchedule, chaos_loopback_pair
 from repro.service.client import ServiceClient, latency_percentiles
+from repro.service.journal import Journal
 from repro.service.resilience import (
     CircuitBreaker,
     RetryExhausted,
@@ -85,7 +86,19 @@ _NAMED_SCHEDULES = {
         partitions=(PartitionWindow(40.0, 46.0), PartitionWindow(90.0, 94.0),),
         crash_windows=(CrashWindow(0, 50.0, 58.0), CrashWindow(1, 98.0, 106.0),),
         seed=seed), 140),
+    # Smoke-sized wire faults plus (by default) two coordinator kills —
+    # the schedule the journal/restore path is gated on in CI.
+    "restart": (lambda seed: FaultSchedule(
+        drop_rate=0.25, loss_windows=(PartitionWindow(4.0, 7.0),),
+        duplicate_rate=0.05,
+        partitions=(PartitionWindow(20.0, 22.0),),
+        crash_windows=(CrashWindow(0, 13.0, 17.0),),
+        seed=seed), 30),
 }
+
+#: default coordinator-kill steps per schedule (used when the caller
+#: journals the run but does not pick kill steps explicitly).
+_DEFAULT_KILL_STEPS = {"restart": (9, 24)}
 
 
 def named_schedule(name: str, seed: int = 1) -> Tuple[FaultSchedule, int]:
@@ -124,6 +137,8 @@ async def _run_async(
     steps: int,
     audit_margin: int,
     register_timeout: float,
+    server_factory: Optional[Callable[[], Any]] = None,
+    kill_steps: Sequence[int] = (),
 ) -> Dict[str, Any]:
     traces = scenario.traces
     queries = scenario.queries
@@ -172,6 +187,10 @@ async def _run_async(
 
     trace_len = min(len(traces[item]) for item in item_to_source)
     last = min(trace_len, steps + 1)
+    kills = {int(s) for s in kill_steps if 1 <= int(s) < last}
+    restarts: List[Dict[str, Any]] = []
+    append_samples: List[float] = []
+    retired_refreshes = 0
     fault_steps: Set[int] = set()
     degraded_open: Dict[str, int] = {}
     recovery_durations: List[float] = []
@@ -236,8 +255,44 @@ async def _run_async(
                               "qab": query.qab, "phase": phase})
         audit_log.append(entry)
 
+    async def _kill_and_restore(step: int) -> None:
+        """The coordinator-kill fault: drop the server with no parting
+        snapshot (journal appends are unbuffered, so the WAL already
+        holds everything it accepted), build a fresh one, restore from
+        snapshot+tail, and let every surviving agent re-attach through
+        the ordinary reconnect/resync machinery."""
+        nonlocal server, auditor, retired_refreshes
+        assert server_factory is not None
+        old_journal = server.journal
+        retired_refreshes += server.stats["refreshes_accepted"]
+        await auditor.close()
+        await server.close(final_snapshot=False)
+        if old_journal is not None:
+            append_samples.extend(old_journal.append_seconds)
+        server = server_factory()
+        recovery = server.restore()
+        recovery["step"] = step
+        restarts.append(recovery)
+        # A restart silences the wire exactly like a fault burst would;
+        # audits hold off until the margin clears it.
+        fault_steps.add(step)
+        for source_id in sorted(agents):
+            if source_id in crashed:
+                continue
+            agent = agents[source_id]
+            # Force a full resync: fresh values clear any restored lease
+            # suspicion without waiting for the probe machinery.
+            agent._resync_pending = set(agent.items)
+            await _connect(agent)
+        await _drain()
+        auditor = ServiceClient(server.connect_loopback())
+        await auditor.subscribe("*")
+        await _drain()
+
     async def _step(step: int, phase: str) -> None:
         clock.step = step
+        if step in kills:
+            await _kill_and_restore(step)
         injector.advance(step)
         await _drain(4)
 
@@ -315,6 +370,22 @@ async def _run_async(
         for key, value in source_stats.items():
             agent_totals[key] = agent_totals.get(key, 0) + value
 
+    # Always present (``{"kills": 0}`` without a journal) so downstream
+    # dashboards can key on the section unconditionally.
+    recovery_section: Dict[str, Any] = {"kills": len(restarts)}
+    if server.journal is not None:
+        append_samples.extend(server.journal.append_seconds)
+        recovery_section.update({
+            "restarts": restarts,
+            "records_replayed_total": sum(
+                r["records_replayed"] for r in restarts),
+            "recovery_seconds_max": max(
+                (r["recovery_seconds"] for r in restarts), default=0.0),
+            "journal_append_ms": latency_percentiles(
+                [s * 1000.0 for s in append_samples], (50.0, 95.0, 99.0)),
+            "journal": server.journal.stats(),
+        })
+
     report = {
         "steps": last - 1,
         "tail_steps": tail_end - last + 1,
@@ -335,8 +406,9 @@ async def _run_async(
         "recovery_steps_max": max(recovery_durations, default=0.0),
         "refresh_overhead_per_step": latency_percentiles(
             refreshes_per_step, (50.0, 95.0)),
-        "refreshes_total": stats["refreshes_accepted"],
+        "refreshes_total": retired_refreshes + stats["refreshes_accepted"],
         "connect_give_ups": connect_give_ups,
+        "coordinator_recovery": recovery_section,
         "agent_stats": agent_totals,
         "server_stats": stats,
     }
@@ -362,12 +434,21 @@ def run_chaos_soak(
     audit_margin: int = 2,
     register_timeout: float = 0.25,
     output: Optional[str] = None,
+    journal_dir: Optional[str] = None,
+    kill_steps: Optional[Sequence[int]] = None,
+    snapshot_every: int = 50,
+    fsync: str = "always",
 ) -> Dict[str, Any]:
     """Run the chaos soak; returns (and optionally writes) the report.
 
-    ``schedule`` is a profile name (``smoke``/``ci``/``heavy``) or a
-    custom :class:`FaultSchedule`; ``steps`` defaults to the profile's
-    budget.  ``lease_duration`` is in logical steps.  The run **fails**
+    ``schedule`` is a profile name (``smoke``/``ci``/``heavy``/
+    ``restart``) or a custom :class:`FaultSchedule`; ``steps`` defaults
+    to the profile's budget.  ``lease_duration`` is in logical steps.
+    ``journal_dir`` journals the coordinator and enables ``kill_steps``:
+    at each listed step the server is dropped without a parting snapshot
+    and a fresh one restores from disk mid-run (the ``restart`` profile
+    defaults to two kills; a temporary directory is created when kills
+    are requested without a ``journal_dir``).  The run **fails**
     (``report["passed"] is False``) on any unexcused QAB violation, or if
     the degraded map has not drained by the end of the recovery tail.
     """
@@ -378,26 +459,48 @@ def run_chaos_soak(
     else:
         schedule_name = "custom"
         steps = steps if steps is not None else 40
+    if kill_steps is None:
+        kill_steps = _DEFAULT_KILL_STEPS.get(schedule_name, ())
+    if kill_steps and journal_dir is None:
+        import tempfile
+
+        journal_dir = tempfile.mkdtemp(prefix="repro-journal-")
     from repro.service.server import build_scenario_server
 
     clock = _StepClock()
-    server, scenario, item_to_source = build_scenario_server(
-        query_count=queries, item_count=items, source_count=sources,
-        trace_length=steps + 2, seed=seed, algorithm=algorithm,
-        workload=workload,
-        lease_duration=lease_duration,
-        suspect_drift_rel=suspect_drift_rel,
-        dab_retry_policy=RetryPolicy(base_delay=1.0, backoff=1.5,
-                                     max_delay=4.0, max_attempts=6),
-        solver_breaker=CircuitBreaker(failure_threshold=3, reset_timeout=6.0,
-                                      clock=clock),
-        clock=clock,
-    )
+
+    def make_server():
+        """One coordinator incarnation — the same scenario every time
+        (seed-derived), journaled when ``journal_dir`` is set.  Journaled
+        servers defer bootstrap to :meth:`restore`."""
+        journal = (Journal(journal_dir, fsync=fsync,
+                           snapshot_every=snapshot_every)
+                   if journal_dir is not None else None)
+        return build_scenario_server(
+            query_count=queries, item_count=items, source_count=sources,
+            trace_length=steps + 2, seed=seed, algorithm=algorithm,
+            workload=workload,
+            lease_duration=lease_duration,
+            suspect_drift_rel=suspect_drift_rel,
+            dab_retry_policy=RetryPolicy(base_delay=1.0, backoff=1.5,
+                                         max_delay=4.0, max_attempts=6),
+            solver_breaker=CircuitBreaker(failure_threshold=3,
+                                          reset_timeout=6.0, clock=clock),
+            clock=clock,
+            journal=journal,
+            bootstrap=journal is None,
+        )
+
+    server, scenario, item_to_source = make_server()
+    if server.journal is not None:
+        server.restore()
     injector = FaultInjector(schedule)
     report = asyncio.run(_run_async(
         server=server, scenario=scenario, item_to_source=item_to_source,
         injector=injector, clock=clock, steps=steps,
         audit_margin=audit_margin, register_timeout=register_timeout,
+        server_factory=(lambda: make_server()[0]) if journal_dir else None,
+        kill_steps=kill_steps,
     ))
     report["schedule"] = schedule_name
     report["fault_kinds"] = schedule.fault_kinds()
@@ -408,6 +511,10 @@ def run_chaos_soak(
     report["algorithm"] = algorithm
     report["workload"] = workload
     report["lease_duration_steps"] = lease_duration
+    if journal_dir is not None:
+        report["journal_dir"] = str(journal_dir)
+        report["coordinator_recovery"]["kill_steps"] = sorted(
+            int(s) for s in kill_steps)
     report["passed"] = (report["qab_violations_unexcused"] == 0
                         and not report["final_degraded_queries"])
     if output:

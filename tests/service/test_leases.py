@@ -363,3 +363,99 @@ class TestSolverBreaker:
         assert breaker.state is BreakerState.CLOSED
         assert breaker.stats["recoveries"] == 1
         assert recovered.primary                     # a real solver plan
+
+
+class TestFakeClockEndToEnd:
+    """The satellite guard: every timestamp the server emits comes from
+    the injected clock, never wall time — a leak shows up here as a
+    ``sent_at`` around 1.7e9 instead of the logical step value."""
+
+    def test_degraded_fanout_stamps_injected_clock(self):
+        async def check():
+            clock = StepClock(0.0)
+            server, _, item_to_source = build(clock, lease_duration=3.0)
+            await register(server, item_to_source, 0)
+            subscriber = server.connect_loopback()
+            await subscriber.send(protocol.query_sub("*"))
+            await subscriber.receive()                   # snapshot
+            clock.now = 1.0
+            await server.check_leases()
+            clock.now = 7.0
+            await server.check_leases()                  # leases expire here
+            await drain()
+            notice = await subscriber.receive()
+            assert notice["type"] == MessageType.NOTIFY.value
+            assert notice["sent_at"] == 7.0
+            await server.close()
+
+        run(check())
+
+    def test_notification_fanout_stamps_injected_clock(self):
+        async def check():
+            clock = StepClock(0.0)
+            server, _, _ = build(clock)
+            subscriber = server.connect_loopback()
+            await subscriber.send(protocol.query_sub("*"))
+            await subscriber.receive()                   # snapshot
+            clock.now = 42.0
+            name = server.core.queries[0].name
+            server._fanout_notifications([(name, 1.0)], None)
+            await drain()
+            notice = await subscriber.receive()
+            assert notice["type"] == MessageType.NOTIFY.value
+            assert notice["sent_at"] == 42.0
+            await server.close()
+
+        run(check())
+
+    def test_lease_expiry_runs_entirely_on_fake_clock(self, monkeypatch):
+        """Wall time is poisoned for the whole path — scoped to the
+        server/resilience modules' ``_time`` bindings (asyncio's event
+        loop legitimately reads ``time.monotonic``): any leaked
+        ``_time.time()``/``_time.monotonic()`` call fails the test."""
+        import time as wall
+
+        class _PoisonedTime:
+            perf_counter = staticmethod(wall.perf_counter)
+
+            @staticmethod
+            def time():
+                raise AssertionError(
+                    "wall clock consulted on an injected-clock path")
+
+            monotonic = time
+
+        async def check():
+            clock = StepClock(0.0)
+            breaker = CircuitBreaker(failure_threshold=3, reset_timeout=6.0)
+            server, _, item_to_source = build(clock, lease_duration=3.0,
+                                              solver_breaker=breaker)
+            assert breaker.clock is clock                # bind_clock took
+            stream = await register(server, item_to_source, 0)
+            subscriber = server.connect_loopback()
+            await subscriber.send(protocol.query_sub("*"))
+            await subscriber.receive()
+            import repro.service.resilience as resilience_mod
+            import repro.service.server as server_mod
+            monkeypatch.setattr(server_mod, "_time", _PoisonedTime)
+            monkeypatch.setattr(resilience_mod, "_time", _PoisonedTime)
+            item = owned(item_to_source, 0)[0]
+            clock.now = 1.0
+            await stream.send(protocol.refresh(0, item, 42.0, seq=1))
+            await drain()
+            await server.check_leases()
+            clock.now = 9.0
+            await server.check_leases()                  # expiry + fanout
+            await drain()
+            assert server.suspect_since
+            notice = await subscriber.receive()
+            while not notice.get("degraded"):   # skip value NOTIFYs
+                notice = await subscriber.receive()
+            assert notice["sent_at"] == 9.0
+            clock.now = 10.0
+            await stream.send(protocol.refresh(0, item, 43.0, seq=2))
+            await drain()
+            assert item not in server.suspect_since      # recovery, still no wall
+            await server.close()
+
+        run(check())

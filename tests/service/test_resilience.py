@@ -147,3 +147,32 @@ class TestCircuitBreaker:
             CircuitBreaker(failure_threshold=0)
         with pytest.raises(ReproError):
             CircuitBreaker(reset_timeout=0.0)
+
+    def test_default_clock_is_monotonic_until_bound(self):
+        import time
+
+        breaker = CircuitBreaker()
+        assert breaker.clock is time.monotonic
+
+    def test_bind_clock_adopts_owner_clock(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5.0)
+        breaker.bind_clock(clock)
+        assert breaker.clock is clock
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.now = 6.0
+        assert breaker.allow()                       # driven by the bound clock
+
+    def test_bind_clock_never_overrides_an_injected_clock(self):
+        injected, other = FakeClock(), FakeClock()
+        breaker = CircuitBreaker(clock=injected)
+        breaker.bind_clock(other)
+        assert breaker.clock is injected
+
+    def test_bind_clock_first_bind_wins(self):
+        first, second = FakeClock(), FakeClock()
+        breaker = CircuitBreaker()
+        breaker.bind_clock(first)
+        breaker.bind_clock(second)
+        assert breaker.clock is first

@@ -17,7 +17,7 @@ class TestNamedSchedules:
             named_schedule("tornado")
 
     def test_profiles_enumerate_their_faults(self):
-        for name in ("smoke", "ci", "heavy"):
+        for name in ("smoke", "ci", "heavy", "restart"):
             schedule, steps = named_schedule(name, seed=1)
             assert schedule.enabled
             assert steps > 0
@@ -58,3 +58,42 @@ class TestSoakRun:
         assert report["qab_violations_unexcused"] == 0
         assert report["qab_violations_excused_degraded"] == 0
         assert report["recovery_episodes"] == 0
+
+    def test_recovery_section_present_without_a_journal(self):
+        report = run_chaos_soak(schedule="smoke", **SMALL)
+        assert report["coordinator_recovery"] == {"kills": 0}
+
+
+class TestCoordinatorRestart:
+    def test_restart_schedule_survives_kills_and_audits(self, tmp_path):
+        report = run_chaos_soak(schedule="restart",
+                                journal_dir=str(tmp_path / "journal"),
+                                **SMALL)
+        recovery = report["coordinator_recovery"]
+        assert recovery["kills"] == 2
+        assert recovery["kill_steps"] == [9, 24]
+        assert len(recovery["restarts"]) == 2
+        assert recovery["records_replayed_total"] > 0
+        assert recovery["journal_append_ms"]          # overhead percentiles
+        assert recovery["journal"]["records"] > 0
+        assert report["passed"] is True
+        assert report["qab_violations_unexcused"] == 0
+        assert report["final_degraded_queries"] == []
+
+    def test_restart_run_is_deterministic(self, tmp_path):
+        a = run_chaos_soak(schedule="restart",
+                           journal_dir=str(tmp_path / "a"), **SMALL)
+        b = run_chaos_soak(schedule="restart",
+                           journal_dir=str(tmp_path / "b"), **SMALL)
+        assert a["fault_trace_digest"] == b["fault_trace_digest"]
+        assert a["refreshes_total"] == b["refreshes_total"]
+        assert (a["coordinator_recovery"]["records_replayed_total"]
+                == b["coordinator_recovery"]["records_replayed_total"])
+
+    def test_explicit_kill_steps_override_schedule_default(self, tmp_path):
+        report = run_chaos_soak(schedule="restart",
+                                journal_dir=str(tmp_path / "journal"),
+                                kill_steps=[12], **SMALL)
+        assert report["coordinator_recovery"]["kills"] == 1
+        assert report["coordinator_recovery"]["kill_steps"] == [12]
+        assert report["passed"] is True
