@@ -36,6 +36,21 @@ POINTS = {
     "fig6": dict(query_count=300, item_count=40, trace_length=401),
 }
 
+#: Points for the recompute-latency section (ISSUE 7).  Per-breach solve
+#: latency is independent of the query count (each breach re-solves one
+#: query's GP), so the fig6 entry keeps the paper's item/trace scale but
+#: trims the query sweep — the full-mode reference would otherwise spend
+#: many minutes on thousands of 50 ms multi-start solves.
+RECOMPUTE_POINTS = {
+    "smoke": dict(query_count=10, item_count=30, trace_length=151),
+    "fig6": dict(query_count=40, item_count=40, trace_length=401),
+}
+
+#: 10x the default GBM volatility: secondary-DAB windows actually break.
+#: At the default 0.002 a whole run produces near-zero recomputes and the
+#: latency percentiles would be noise.
+BREACH_VOLATILITY = 0.02
+
 #: ``REPRO_BENCH_HOTPATH=smoke`` (the CI job) measures only the reduced
 #: point and leaves the committed ``fig6`` entry untouched.
 MODE = os.environ.get("REPRO_BENCH_HOTPATH", "full")
@@ -70,16 +85,52 @@ def _measure(params):
     }
 
 
+def _measure_recompute(params):
+    """Breach-resolution latency, full multi-start solve vs delta patch.
+
+    One run per mode; the percentiles come from the hundreds of
+    within-run breach samples, so repetition buys nothing.  The two runs
+    must agree on every simulation-visible metric (the delta counters are
+    the only permitted difference) — the bench doubles as an end-to-end
+    equivalence check at benchmark scale.
+    """
+    scenario = scaled_scenario(source_count=8, seed=13,
+                               volatility=BREACH_VOLATILITY, **params)
+    base = SimulationConfig(queries=scenario.queries, traces=scenario.traces,
+                            recompute_cost=5.0, source_count=8, seed=13,
+                            fidelity_interval=1)
+    entry = {"params": dict(params), "volatility": BREACH_VOLATILITY}
+    metrics = {}
+    for mode in ("full", "delta"):
+        result = run_simulation(replace(base, recompute_mode=mode))
+        entry[mode] = result.recompute_latency
+        metrics[mode] = result.metrics
+    entry["breaches"] = metrics["full"].recomputations
+    entry["patch_hit_rate"] = entry["delta"]["patch_hit_rate"]
+    entry["fallback_rate"] = entry["delta"]["fallback_rate"]
+    for q in ("p50", "p95", "p99"):
+        entry[f"{q}_speedup"] = round(
+            entry["full"][f"{q}_ms"] / entry["delta"][f"{q}_ms"], 2)
+    entry["metrics_identical"] = (
+        replace(metrics["delta"], delta_patches=0, delta_fallbacks=0)
+        == metrics["full"])
+    return entry
+
+
 @pytest.fixture(scope="module")
 def hotpath(results_dir):
     """Measured entries plus the committed baseline (read before writing)."""
     path = results_dir / RESULT_NAME
     baseline = json.loads(path.read_text()) if path.exists() else {}
     entries = {name: _measure(POINTS[name]) for name in NAMES}
+    recompute = {name: _measure_recompute(RECOMPUTE_POINTS[name])
+                 for name in NAMES}
     merged = dict(baseline)
     merged.update(entries)
+    merged["recompute_latency"] = dict(
+        baseline.get("recompute_latency", {}), **recompute)
     path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
-    return {"entries": entries, "baseline": baseline}
+    return {"entries": entries, "recompute": recompute, "baseline": baseline}
 
 
 def test_hotpath_metrics_identical(benchmark, hotpath):
@@ -96,6 +147,22 @@ def test_hotpath_speedup_floor(benchmark, hotpath):
     assert hotpath["entries"]["smoke"]["speedup"] >= 1.5
     if "fig6" in hotpath["entries"]:
         assert hotpath["entries"]["fig6"]["speedup"] >= 3.0
+
+
+def test_recompute_latency_acceptance(benchmark, hotpath):
+    """ISSUE 7 acceptance at the fig6-family point: >=70% of breaches
+    resolve via patch and the delta-mode p95 breach latency is >=3x lower
+    than the full multi-start solve.  The smoke point keeps a looser p95
+    floor: its small breach sample lets a handful of fallbacks (full-solve
+    latency) land on the 95th percentile."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for name, entry in hotpath["recompute"].items():
+        assert entry["metrics_identical"], name
+        assert entry["breaches"] > 0, name
+        assert entry["patch_hit_rate"] >= 0.7, name
+        assert entry["p50_speedup"] >= 3.0, name
+    if "fig6" in hotpath["recompute"]:
+        assert hotpath["recompute"]["fig6"]["p95_speedup"] >= 3.0
 
 
 def test_hotpath_no_regression_vs_committed(benchmark, hotpath):

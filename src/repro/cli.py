@@ -135,6 +135,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         fidelity_interval=args.fidelity_interval, zero_delay=args.zero_delay,
         aao_period=args.aao_period, fault_config=fault_config,
         vectorize=not args.no_vectorize,
+        recompute_mode=args.recompute_mode,
     )
     if args.runs > 1:
         results = run_seed_sweep(config, args.runs, jobs=args.jobs)
@@ -167,6 +168,20 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"GP solves            {m.gp_solves} "
           f"(cache hits {result.cache_hits})")
     print(f"wall time            {result.wall_seconds:.2f}s")
+    # Only the non-default mode reports its counters: full-mode output
+    # stays byte-identical to the pre-delta CLI (and to itself across
+    # runs — the percentiles are wall-clock readouts).
+    if result.recompute_latency is not None and result.recompute_mode != "full":
+        latency = result.recompute_latency
+        line = (f"recompute mode       {result.recompute_mode} "
+                f"(patches {latency['patches']}, "
+                f"fallbacks {latency['fallbacks']}, "
+                f"hit rate {latency['patch_hit_rate']:.2%})")
+        print(line)
+        if "p95_ms" in latency:
+            print(f"recompute latency    p50 {latency['p50_ms']:.2f}ms  "
+                  f"p95 {latency['p95_ms']:.2f}ms  "
+                  f"p99 {latency['p99_ms']:.2f}ms")
     if fault_config is not None:
         print()
         print(format_table(fault_counter_rows(m), "Fault injection & recovery"))
@@ -288,7 +303,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         query_count=args.queries, item_count=args.items,
         source_count=args.sources, trace_length=args.trace_length,
         seed=args.seed, algorithm=args.algorithm, recompute_cost=args.mu,
-        workload=args.workload,
+        workload=args.workload, recompute_mode=args.recompute_mode,
         journal=journal, bootstrap=journal is None,
     )
     if journal is not None:
@@ -576,6 +591,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="use the scalar reference implementation of "
                                "the hot paths (bit-identical metrics; "
                                "slower)")
+    simulate.add_argument("--recompute-mode", choices=["full", "delta"],
+                          default="full",
+                          help="how window breaches are re-solved: 'full' "
+                               "(multi-start GP solve, the default) or "
+                               "'delta' (warm Newton-KKT coefficient patch "
+                               "with full-solve fallback)")
     simulate.add_argument("--runs", type=int, default=1,
                           help="replicate the run at N derived seeds "
                                "(deterministic per-index derivation)")
@@ -656,6 +677,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=DEFAULT_SERVICE_PORT)
     serve.add_argument("--mu", type=float, default=5.0,
                        help="recomputation cost in messages")
+    serve.add_argument("--recompute-mode", choices=["full", "delta"],
+                       default="full",
+                       help="how window breaches are re-solved: 'full' "
+                            "(multi-start GP solve) or 'delta' (warm "
+                            "Newton-KKT patch with full-solve fallback)")
     serve.add_argument("--journal", default=None, metavar="DIR",
                        help="journal coordinator state to DIR (write-ahead "
                             "log + periodic snapshots); on start, restore "

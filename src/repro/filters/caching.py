@@ -62,6 +62,27 @@ class QuantisingCachePlanner:
         self._cache: "OrderedDict[Tuple, DABAssignment]" = OrderedDict()
         self._log_step = math.log1p(grid)
 
+    @property
+    def _mode_key(self) -> str:
+        """The wrapped stack's recompute mode, part of every cache key.
+
+        Keying on values alone let a planner whose mode changed between
+        runs (full <-> delta) serve entries computed under the other mode —
+        sound plans, but the wrong solve path's plans, which silently
+        corrupts mode-comparison experiments and the patch/fallback
+        counters.  Stacks without a delta layer key as "full"."""
+        node = self.planner
+        seen = set()
+        while node is not None and id(node) not in seen:
+            mode = getattr(node, "recompute_mode", None)
+            if isinstance(mode, str):
+                return mode
+            seen.add(id(node))
+            node = (getattr(node, "planner", None)
+                    or getattr(node, "base", None)
+                    or getattr(node, "inner", None))
+        return "full"
+
     def _quantise_up(self, value: float) -> float:
         if value <= 0.0:
             raise FilterError(f"item values must be positive, got {value!r}")
@@ -71,7 +92,7 @@ class QuantisingCachePlanner:
     def plan(self, query: PolynomialQuery, values: Mapping[str, float]) -> DABAssignment:
         quantised = {name: self._quantise_up(float(values[name]))
                      for name in query.variables}
-        key = (query.name, tuple(sorted(quantised.items())))
+        key = (query.name, self._mode_key, tuple(sorted(quantised.items())))
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)

@@ -112,11 +112,25 @@ class CompiledDualDabTemplate:
                 self._constraint_rows[name] = _single_variable_items(
                     function, variables, RECOMPUTE_RATE_VARIABLE)
         self._widen: Optional[CompiledWidenTemplate] = None
+        #: Item values of the last refresh — the per-item delta structure
+        #: the incremental recompute path diffs against to find which
+        #: log-variables a window breach actually touched.
+        self.last_values: Dict[str, float] = {}
         _self_check(self.compiled, lambda: self.refresh(values),
                     f"dual-DAB template for {query.name!r}")
 
+    def changed_items(self, values: Mapping[str, float]) -> List[str]:
+        """Items whose value moved since the last :meth:`refresh` — the
+        variables a delta patch must actually re-solve around.  Every item
+        counts as changed before the first refresh."""
+        last = self.last_values
+        return [name for name in self.query.variables
+                if last.get(name) != float(values[name])]
+
     def refresh(self, values: Mapping[str, float]) -> None:
         """Rewrite every value/rate-dependent log-coefficient in place."""
+        self.last_values = {name: float(values[name])
+                            for name in self.query.variables}
         cost_model = self.cost_model
         objective_log = self.compiled.objective.log_c
         for i, item in enumerate(self._objective_rows):
@@ -149,15 +163,22 @@ class CompiledDualDabTemplate:
         self.refresh(values)
         return self.compiled.solve(initial=initial)
 
-    def widen(self, values: Mapping[str, float], primary: Mapping[str, float],
-              initial: Optional[Mapping[str, float]] = None) -> Dict[str, float]:
-        """Compiled equivalent of :func:`repro.filters.dual_dab.widen_secondary`."""
+    def widen_template(self, values: Mapping[str, float],
+                       primary: Mapping[str, float]) -> "CompiledWidenTemplate":
+        """The (lazily-built) widening template — exposed so the delta
+        recompute path can Newton-patch the widening program directly."""
         if self._widen is None:
             self._widen = CompiledWidenTemplate(
                 self.query, values, primary, self.cost_model, self.deviation,
                 constrain_window=self.constrain_window,
             )
-        solution = self._widen.solve(values, primary, initial=initial)
+        return self._widen
+
+    def widen(self, values: Mapping[str, float], primary: Mapping[str, float],
+              initial: Optional[Mapping[str, float]] = None) -> Dict[str, float]:
+        """Compiled equivalent of :func:`repro.filters.dual_dab.widen_secondary`."""
+        solution = self.widen_template(values, primary).solve(
+            values, primary, initial=initial)
         items = self.query.variables
         secondary = {name: solution.values[secondary_variable(name)]
                      for name in items}

@@ -229,6 +229,24 @@ class DualDABPlanner:
             objective=solution.objective,
         )
 
+    # -- delta-recompute plumbing ------------------------------------------------
+
+    def compiled_template(self, query_name: str):
+        """The query's :class:`CompiledDualDabTemplate`, or ``None`` before
+        its first compiled plan (or with ``use_compiled=False``)."""
+        return self._templates.get(query_name)
+
+    def warm_start(self, query_name: str) -> Optional[Dict[str, float]]:
+        """The main-program optimum of the query's last solve (captured
+        *before* widening) — the point a delta patch warm-starts from."""
+        return self._warm_starts.get(query_name)
+
+    def seed_warm_start(self, query_name: str,
+                        values: Mapping[str, float]) -> None:
+        """Adopt externally-computed solution values as the next warm start
+        (a successful delta patch keeps the full-solve path in sync)."""
+        self._warm_starts[query_name] = dict(values)
+
     def clear_warm_starts(self) -> None:
         """Drop cached solver starts (per-query); next solves run cold."""
         self._warm_starts.clear()

@@ -19,6 +19,7 @@ solve, and the fit residual is reported so callers can tell.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -26,7 +27,7 @@ import numpy as np
 from scipy.optimize import nnls
 
 from repro.exceptions import GPError
-from repro.gp.program import CompiledFunction, GeometricProgram
+from repro.gp.program import CompiledFunction, CompiledProgram, GeometricProgram
 from repro.gp.solver import GPSolution, _lse_grad
 
 #: A constraint counts as active when ``|g(t) - 1|`` is below this.
@@ -72,9 +73,20 @@ class SensitivityReport:
 
 def analyze(program: GeometricProgram, solution: GPSolution) -> SensitivityReport:
     """Compute constraint multipliers/elasticities at a solved optimum."""
-    compiled = program.compile()
+    return analyze_compiled(program.compile(), solution.values)
+
+
+def analyze_compiled(compiled: CompiledProgram,
+                     values: Mapping[str, float]) -> SensitivityReport:
+    """:func:`analyze` on an already-compiled program.
+
+    The compiled-template planners keep a :class:`CompiledProgram` per
+    query whose log-coefficients are refreshed in place; calling this
+    directly skips the posynomial rebuild that :func:`analyze` pays and is
+    what the delta-recompute path uses to seed/validate its Newton patch.
+    """
     order = compiled.variables
-    y = np.array([np.log(solution.values[name]) for name in order])
+    y = np.array([np.log(values[name]) for name in order])
 
     objective_grad = _lse_grad(compiled.objective, y)
 
@@ -108,6 +120,36 @@ def _lse_value_for(func: CompiledFunction, y: np.ndarray) -> float:
     from scipy.special import logsumexp
 
     return float(logsumexp(func.A @ y + func.log_c))
+
+
+def kkt_residual(compiled: CompiledProgram, y: np.ndarray,
+                 working: "List[int]", nu: np.ndarray) -> float:
+    """∞-norm of the KKT residual of a working-set iterate.
+
+    ``working`` indexes the constraints treated as equalities, ``nu`` their
+    multipliers.  The residual combines stationarity
+    (``∇F0 + Σ ν_i ∇F_i``) with primal feasibility of the working set
+    (``F_i = 0``); dual feasibility (``ν >= 0``) and feasibility of the
+    *non*-working constraints are checked separately by the caller, because
+    their violation calls for an active-set update rather than more Newton
+    steps.  This is the acceptance metric of the delta-recompute patch.
+    """
+    def value_and_grad(func: CompiledFunction):
+        # Plain-numpy log-sum-exp: this runs once per accepted patch, where
+        # scipy's array-API dispatch overhead would dwarf the arithmetic.
+        z = func.A @ y + func.log_c
+        peak = float(np.max(z))
+        weights = np.exp(z - peak)
+        total = float(weights.sum())
+        return peak + math.log(total), (weights / total) @ func.A
+
+    _, stationarity = value_and_grad(compiled.objective)
+    primal = 0.0
+    for multiplier, index in zip(nu, working):
+        value, grad = value_and_grad(compiled.constraints[index])
+        stationarity = stationarity + multiplier * grad
+        primal = max(primal, abs(value))
+    return max(float(np.max(np.abs(stationarity))), primal)
 
 
 def qab_relaxation_value(program: GeometricProgram, solution: GPSolution,

@@ -66,6 +66,17 @@ def _lse_grad(func: CompiledFunction, y: np.ndarray) -> np.ndarray:
     return weights @ func.A
 
 
+def _lse_hessian(func: CompiledFunction, y: np.ndarray) -> np.ndarray:
+    """Hessian of ``F(y) = logsumexp(A y + log c)``:
+    ``Aᵀ (diag(w) - w wᵀ) A`` with softmax weights ``w`` — positive
+    semi-definite, which is what makes the log-space program convex and a
+    warm Newton-KKT patch on it sound (see filters/delta_recompute.py)."""
+    weights = softmax(func.A @ y + func.log_c)
+    weighted = func.A * weights[:, None]
+    mean = weights @ func.A
+    return func.A.T @ weighted - np.outer(mean, mean)
+
+
 class _ConstraintBundle:
     """All constraints of a compiled program as one vector function.
 

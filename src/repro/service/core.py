@@ -95,6 +95,7 @@ class CoordinatorCore:
         recompute_hook: Optional[Callable[[], None]] = None,
         solver_breaker: Optional[object] = None,
         breaker_shrink: float = 0.9,
+        recompute_strategy: str = "full",
     ):
         if not queries:
             raise SimulationError("a coordinator needs at least one query")
@@ -125,6 +126,17 @@ class CoordinatorCore:
             raise SimulationError(
                 f"breaker_shrink must be in (0, 1], got {breaker_shrink!r}")
         self.breaker_shrink = float(breaker_shrink)
+        #: How the planner stack answers window breaches: ``"full"`` (the
+        #: classic multi-start solve; named ``recompute_strategy`` here to
+        #: avoid colliding with :class:`RecomputeMode`, the *trigger*
+        #: policy) or ``"delta"`` (Newton-KKT patch with full-solve
+        #: fallback).  Journaled with every plan record when not "full" so
+        #: a replayed run can prove it restored under the same strategy.
+        if recompute_strategy not in ("full", "delta"):
+            raise SimulationError(
+                f"recompute_strategy must be 'full' or 'delta', "
+                f"got {recompute_strategy!r}")
+        self.recompute_strategy = recompute_strategy
         #: query name -> (source plan, its shrunk stand-in) while the
         #: breaker is open (cached so shrinkage never compounds).
         self._breaker_plans: Dict[str, Tuple[DABAssignment, DABAssignment]] = {}
@@ -408,8 +420,14 @@ class CoordinatorCore:
         if self.journal is not None:
             from repro.service.journal import plan_to_wire
 
-            self.journal.append({"t": "plan", "q": query.name,
-                                 "plan": plan_to_wire(plan)})
+            record = {"t": "plan", "q": query.name,
+                      "plan": plan_to_wire(plan)}
+            if self.recompute_strategy != "full":
+                # Full-mode journals stay byte-identical to the pre-delta
+                # format; delta runs stamp the strategy so replay can
+                # verify it restores under the same one.
+                record["mode"] = self.recompute_strategy
+            self.journal.append(record)
         if self.recompute_hook is not None:
             self.recompute_hook()
 

@@ -89,6 +89,7 @@ class CoordinatorServer:
         clock: Callable[[], float] = _time.time,
         journal: Optional[Journal] = None,
         bootstrap: bool = True,
+        recompute_strategy: str = "full",
     ):
         self.metrics = metrics if metrics is not None else MetricsCollector(
             recompute_cost=recompute_cost)
@@ -97,6 +98,7 @@ class CoordinatorServer:
             initial_values=initial_values, item_to_source=item_to_source,
             aao_planner=aao_planner, aao_period=aao_period,
             vectorize=vectorize, solver_breaker=solver_breaker,
+            recompute_strategy=recompute_strategy,
         )
         #: ``bootstrap=False`` defers the initial GP solves to
         #: :meth:`restore` — the journaled start path, where a snapshot
@@ -881,6 +883,11 @@ class CoordinatorServer:
             stats["journal"] = self.journal.stats()
             if self.last_recovery is not None:
                 stats["last_recovery"] = dict(self.last_recovery)
+        from repro.filters.delta_recompute import find_delta_planner
+
+        delta = find_delta_planner(self.core.planner)
+        if delta is not None:
+            stats["delta_recompute"] = delta.stats.snapshot()
         return stats
 
 
@@ -899,6 +906,7 @@ def build_scenario_server(
     workload: str = "portfolio",
     vectorize: bool = True,
     notify_queue_limit: int = DEFAULT_NOTIFY_QUEUE_LIMIT,
+    recompute_mode: str = "full",
     **server_kwargs: Any,
 ):
     """A :class:`CoordinatorServer` plus its scenario, built exactly like a
@@ -935,6 +943,7 @@ def build_scenario_server(
         queries=scenario.queries, traces=scenario.traces,
         algorithm=algorithm, recompute_cost=recompute_cost,
         source_count=source_count, seed=seed, vectorize=vectorize,
+        recompute_mode=recompute_mode,
     )
     if config.algorithm is AlgorithmName.AAO_T:
         raise ReproError("the live service has no periodic scheduler yet; "
@@ -958,6 +967,7 @@ def build_scenario_server(
         mode=_SINGLE_DAB_MODES[config.algorithm],
         vectorize=vectorize, recompute_cost=recompute_cost,
         notify_queue_limit=notify_queue_limit,
+        recompute_strategy=recompute_mode,
         **server_kwargs,
     )
     return server, scenario, item_to_source

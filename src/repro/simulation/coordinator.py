@@ -86,6 +86,7 @@ class Coordinator:
         rate_tracker: Optional[object] = None,
         fault_model: Optional[FaultModel] = None,
         vectorize: bool = False,
+        recompute_strategy: str = "full",
     ):
         self.core = CoordinatorCore(
             queries=queries,
@@ -98,6 +99,7 @@ class Coordinator:
             aao_period=aao_period,
             vectorize=vectorize,
             recompute_hook=self._charge_recompute_time,
+            recompute_strategy=recompute_strategy,
         )
         self.queue = queue
         self.metrics = metrics

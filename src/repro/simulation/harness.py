@@ -29,6 +29,11 @@ from repro.dynamics.traces import TraceSet
 from repro.filters.baselines import SharfmanStyleBaseline, UniformAllocationBaseline
 from repro.filters.caching import QuantisingCachePlanner
 from repro.filters.cost_model import CostModel
+from repro.filters.delta_recompute import (
+    RECOMPUTE_MODES,
+    DeltaRecomputePlanner,
+    find_delta_planner,
+)
 from repro.filters.dual_dab import DualDABPlanner
 from repro.filters.heuristics import DifferentSumPlanner, HalfAndHalfPlanner
 from repro.filters.multi_query import AAOPlanner
@@ -126,6 +131,12 @@ class SimulationConfig:
     #: identical to the scalar reference (``vectorize=False``, the CLI's
     #: ``--no-vectorize``) — metrics never differ, only wall time.
     vectorize: bool = True
+    #: ``"full"`` answers every window breach with the multi-start solve
+    #: (the pre-delta behaviour, bit-identical); ``"delta"`` tries a
+    #: warm-started Newton-KKT coefficient patch first and falls back to
+    #: the full solve when the patch's KKT residual or the QAB invariant
+    #: rejects it (see :mod:`repro.filters.delta_recompute`).
+    recompute_mode: str = "full"
 
     def __post_init__(self) -> None:
         self.algorithm = AlgorithmName.from_string(self.algorithm)
@@ -140,6 +151,21 @@ class SimulationConfig:
             )
         if self.algorithm is AlgorithmName.AAO_T and (self.aao_period or 0) < 1:
             raise SimulationError("AAO_T requires aao_period >= 1")
+        if self.recompute_mode not in RECOMPUTE_MODES:
+            raise SimulationError(
+                f"recompute_mode must be one of {RECOMPUTE_MODES}, "
+                f"got {self.recompute_mode!r}")
+        if self.recompute_mode == "delta":
+            if self.algorithm not in _DELTA_ALGORITHMS:
+                supported = ", ".join(a.value for a in _DELTA_ALGORITHMS)
+                raise SimulationError(
+                    f"recompute_mode='delta' supports only the dual-DAB "
+                    f"planner stacks ({supported}); got "
+                    f"{self.algorithm.value!r}")
+            if not self.vectorize:
+                raise SimulationError(
+                    "recompute_mode='delta' needs the compiled-GP templates; "
+                    "it cannot be combined with vectorize=False")
         missing = [name for q in self.queries for name in q.variables
                    if name not in self.traces]
         if missing:
@@ -163,6 +189,20 @@ class SimulationResult:
     #: rate estimation and the time-zero initial plan) — the hot path the
     #: ticks/sec benchmarks measure.
     loop_seconds: float = 0.0
+    #: The run's ``--recompute-mode`` and, when a delta-capable stack was
+    #: wired, the breach-resolution latency summary (percentiles in ms,
+    #: patch-hit/fallback rates) from the delta planner's stats.
+    recompute_mode: str = "full"
+    recompute_latency: Optional[Dict[str, float]] = None
+
+
+#: Algorithms whose planner stack routes PPQ solves through the dual-DAB
+#: planner — the stacks the delta-recompute wrapper can patch.
+_DELTA_ALGORITHMS = (
+    AlgorithmName.DUAL_DAB,
+    AlgorithmName.DIFFERENT_SUM,
+    AlgorithmName.HALF_AND_HALF,
+)
 
 
 _SINGLE_DAB_MODES = {
@@ -176,6 +216,20 @@ _SINGLE_DAB_MODES = {
     AlgorithmName.LAQ: RecomputeMode.ON_WINDOW_VIOLATION,
     AlgorithmName.SIGNOMIAL: RecomputeMode.ON_WINDOW_VIOLATION,
 }
+
+
+def _dual_dab_stack(config: SimulationConfig,
+                    cost_model: CostModel) -> DeltaRecomputePlanner:
+    """The dual-DAB core wrapped by the delta-recompute layer.
+
+    The wrapper goes in for *both* modes: in ``full`` mode it is a strict
+    pass-through (bit-identical plans) that only times the solves, so the
+    recompute-latency benchmark can compare modes on equal footing.
+    """
+    return DeltaRecomputePlanner(
+        DualDABPlanner(cost_model, use_compiled=config.vectorize),
+        mode=config.recompute_mode,
+    )
 
 
 def build_planner(config: SimulationConfig, cost_model: CostModel):
@@ -193,10 +247,10 @@ def build_planner(config: SimulationConfig, cost_model: CostModel):
     if algorithm in (AlgorithmName.DUAL_DAB, AlgorithmName.DIFFERENT_SUM,
                      AlgorithmName.AAO_T):
         return DifferentSumPlanner(
-            cost_model, DualDABPlanner(cost_model, use_compiled=use_compiled))
+            cost_model, _dual_dab_stack(config, cost_model))
     if algorithm is AlgorithmName.HALF_AND_HALF:
         return HalfAndHalfPlanner(
-            cost_model, DualDABPlanner(cost_model, use_compiled=use_compiled),
+            cost_model, _dual_dab_stack(config, cost_model),
             split_ratio=config.split_ratio)
     if algorithm is AlgorithmName.SHARFMAN_BASELINE:
         return SharfmanStyleBaseline(cost_model)
@@ -298,6 +352,7 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
         rate_tracker=rate_tracker,
         fault_model=fault_model,
         vectorize=config.vectorize,
+        recompute_strategy=config.recompute_mode,
     )
     coordinator.attach_sources(sources.values())
     coordinator.initial_plan()
@@ -376,6 +431,13 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
     if cache is not None:
         metrics.record_gp_solves(cache.stats.misses)
 
+    recompute_latency: Optional[Dict[str, float]] = None
+    delta = find_delta_planner(planner)
+    if delta is not None:
+        metrics.record_delta_recompute(delta.stats.patches,
+                                       delta.stats.fallbacks)
+        recompute_latency = delta.stats.latency_summary()
+
     return SimulationResult(
         metrics=metrics.summary(),
         algorithm=config.algorithm,
@@ -383,4 +445,6 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
         cache_hits=cache.stats.hits if cache else 0,
         cache_misses=cache.stats.misses if cache else 0,
         loop_seconds=loop_seconds,
+        recompute_mode=config.recompute_mode,
+        recompute_latency=recompute_latency,
     )

@@ -73,6 +73,9 @@ class SimulationMetrics:
     staleness_exposure_seconds: float = 0.0
     degraded_samples: int = 0
     uncertainty_violations: int = 0
+    # -- delta-recompute counters (zero in full mode) ----------------------------
+    delta_patches: int = 0
+    delta_fallbacks: int = 0
 
     @property
     def total_cost(self) -> float:
@@ -128,6 +131,9 @@ class MetricsCollector:
         self.staleness_exposure_seconds = 0.0
         self.degraded_samples = 0
         self.uncertainty_violations = 0
+        # delta-recompute counters
+        self.delta_patches = 0
+        self.delta_fallbacks = 0
 
     # -- recording ----------------------------------------------------------------
 
@@ -213,6 +219,11 @@ class MetricsCollector:
     def record_uncertainty_violation(self, count: int = 1) -> None:
         self.uncertainty_violations += count
 
+    def record_delta_recompute(self, patches: int, fallbacks: int) -> None:
+        """Adopt a delta planner's patch/fallback totals (end of run)."""
+        self.delta_patches += patches
+        self.delta_fallbacks += fallbacks
+
     # -- summaries ----------------------------------------------------------------
 
     @property
@@ -257,4 +268,6 @@ class MetricsCollector:
             staleness_exposure_seconds=self.staleness_exposure_seconds,
             degraded_samples=self.degraded_samples,
             uncertainty_violations=self.uncertainty_violations,
+            delta_patches=self.delta_patches,
+            delta_fallbacks=self.delta_fallbacks,
         )
