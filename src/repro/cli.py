@@ -136,6 +136,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         aao_period=args.aao_period, fault_config=fault_config,
         vectorize=not args.no_vectorize,
         recompute_mode=args.recompute_mode,
+        bank_index=args.bank_index,
     )
     if args.runs > 1:
         results = run_seed_sweep(config, args.runs, jobs=args.jobs)
@@ -182,6 +183,24 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             print(f"recompute latency    p50 {latency['p50_ms']:.2f}ms  "
                   f"p95 {latency['p95_ms']:.2f}ms  "
                   f"p99 {latency['p99_ms']:.2f}ms")
+    # Same contract for the bank index: flat output stays byte-identical.
+    if result.bank_stats is not None and result.bank_index != "flat":
+        bank = result.bank_stats
+        print(f"bank index           {result.bank_index} "
+              f"({bank['distinct_structures']} structures over "
+              f"{bank['queries']} queries, "
+              f"dedup {bank['dedup_ratio']:.1f}x)")
+        screened = bank["screen_evaluated"] + bank["screen_skipped"]
+        if screened:
+            skip_rate = bank["screen_skipped"] / screened
+            print(f"notify screening     {bank['screen_skipped']}/{screened} "
+                  f"skipped ({skip_rate:.1%}), "
+                  f"{bank['template_syncs']} template resyncs")
+        update = bank.get("update_latency_us")
+        if update:
+            print(f"index update         p50 {update['p50']:.1f}us  "
+                  f"p95 {update['p95']:.1f}us  "
+                  f"({bank['appends']} appends, {bank['removals']} removals)")
     if fault_config is not None:
         print()
         print(format_table(fault_counter_rows(m), "Fault injection & recovery"))
@@ -304,6 +323,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         source_count=args.sources, trace_length=args.trace_length,
         seed=args.seed, algorithm=args.algorithm, recompute_cost=args.mu,
         workload=args.workload, recompute_mode=args.recompute_mode,
+        bank_index=args.bank_index,
         journal=journal, bootstrap=journal is None,
     )
     if journal is not None:
@@ -597,6 +617,13 @@ def build_parser() -> argparse.ArgumentParser:
                                "(multi-start GP solve, the default) or "
                                "'delta' (warm Newton-KKT coefficient patch "
                                "with full-solve fallback)")
+    simulate.add_argument("--bank-index", choices=["flat", "shared"],
+                          default="flat",
+                          help="query-bank layout: 'flat' (one compiled row "
+                               "per query, the default) or 'shared' "
+                               "(structure-deduplicating template index — "
+                               "per-tick cost scales with distinct "
+                               "structures, not bank size)")
     simulate.add_argument("--runs", type=int, default=1,
                           help="replicate the run at N derived seeds "
                                "(deterministic per-index derivation)")
@@ -682,6 +709,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="how window breaches are re-solved: 'full' "
                             "(multi-start GP solve) or 'delta' (warm "
                             "Newton-KKT patch with full-solve fallback)")
+    serve.add_argument("--bank-index", choices=["flat", "shared"],
+                       default="flat",
+                       help="query-bank layout: 'flat' (per-query compiled "
+                            "rows) or 'shared' (structure-deduplicating "
+                            "template index with incremental QUERY_SUB "
+                            "registration)")
     serve.add_argument("--journal", default=None, metavar="DIR",
                        help="journal coordinator state to DIR (write-ahead "
                             "log + periodic snapshots); on start, restore "

@@ -54,6 +54,7 @@ from repro.filters.dual_dab import RECOMPUTE_RATE_VARIABLE, DualDABPlanner
 from repro.gp.program import CompiledFunction, CompiledProgram
 from repro.gp.sensitivity import kkt_residual
 from repro.gp.solver import FEASIBILITY_TOL, _Y_BOUND
+from repro.queries.bank_index import template_key
 from repro.queries.deviation import primary_variable, secondary_variable
 from repro.queries.polynomial import PolynomialQuery
 
@@ -179,6 +180,9 @@ class DeltaStats:
     fallbacks: int = 0
     cold_solves: int = 0
     full_solves: int = 0
+    #: Cold solves warm-started from a structurally-identical sibling's
+    #: optimum (``share_templates`` mode — the shared bank-index stack).
+    template_seeds: int = 0
     patch_newton_iterations: int = 0
     affected_items: int = 0
     last_residual: float = 0.0
@@ -247,6 +251,7 @@ class DeltaStats:
             "fallbacks": self.fallbacks,
             "cold_solves": self.cold_solves,
             "full_solves": self.full_solves,
+            "template_seeds": self.template_seeds,
             "patch_hit_rate": round(self.patch_hit_rate, 4),
             "fallback_rate": round(self.fallback_rate, 4),
         }
@@ -265,6 +270,7 @@ class DeltaStats:
             "fallbacks": self.fallbacks,
             "cold_solves": self.cold_solves,
             "full_solves": self.full_solves,
+            "template_seeds": self.template_seeds,
             "patch_hit_rate": round(self.patch_hit_rate, 4),
             "last_residual": self.last_residual,
             "max_residual": self.max_residual,
@@ -439,6 +445,7 @@ class DeltaRecomputePlanner:
         kkt_tol: float = 1e-7,
         max_newton_iterations: int = 12,
         max_working_set_rounds: int = 4,
+        share_templates: bool = False,
     ):
         if mode not in RECOMPUTE_MODES:
             raise FilterError(
@@ -456,6 +463,14 @@ class DeltaRecomputePlanner:
         #: query name -> {"main": last main-solve values,
         #:                "secondary": last widened secondary DABs}
         self._states: Dict[str, Dict[str, Dict[str, float]]] = {}
+        #: Shared-bank-index stack: seed a *cold* query's multi-start solve
+        #: from a structurally-identical sibling's last optimum.  Same
+        #: template key means same items and hence same GP variable names,
+        #: so a sibling's point is a valid start; the full solve still
+        #: verifies every constraint, so this only moves the start point,
+        #: never soundness.
+        self.share_templates = bool(share_templates)
+        self._anchors: Dict[tuple, Dict[str, float]] = {}
 
     @property
     def recompute_mode(self) -> str:
@@ -481,6 +496,11 @@ class DeltaRecomputePlanner:
             plan = self._full_solve(query, values)
             self.stats.record_fallback(_time.perf_counter() - started)
             return plan
+        if self.share_templates and self.inner.warm_start(query.name) is None:
+            anchor = self._anchors.get(template_key(query))
+            if anchor is not None:
+                self.inner.seed_warm_start(query.name, dict(anchor))
+                self.stats.template_seeds += 1
         plan = self._full_solve(query, values)
         self.stats.record_cold(_time.perf_counter() - started)
         return plan
@@ -502,6 +522,8 @@ class DeltaRecomputePlanner:
                 "main": dict(main),
                 "secondary": dict(plan.secondary),
             }
+        if self.share_templates and main is not None:
+            self._anchors[template_key(query)] = dict(main)
         return plan
 
     def _try_patch(self, query: PolynomialQuery, values: Mapping[str, float],
@@ -568,6 +590,8 @@ class DeltaRecomputePlanner:
         # Keep the full-solve path warm-started from the patched optimum,
         # exactly as a full solve would have left it.
         self.inner.seed_warm_start(query.name, main.values)
+        if self.share_templates:
+            self._anchors[template_key(query)] = dict(main.values)
         stats.note_residual(main.residual)
         return plan
 
@@ -610,6 +634,7 @@ class DeltaRecomputePlanner:
         anchors — a patch from a pre-resync optimum would face arbitrary
         value drift, exactly what the resync says happened."""
         self._states.clear()
+        self._anchors.clear()
         self.inner.clear_warm_starts()
 
 

@@ -16,6 +16,12 @@ This subpackage models the paper's query class (Section I-A):
   the paper, generalised to arbitrary positive integer exponents).
 """
 
+from repro.queries.bank_index import (
+    BANK_INDEX_MODES,
+    SharedStructureBank,
+    TemplateWindowState,
+    template_key,
+)
 from repro.queries.items import DataItem, ItemRegistry
 from repro.queries.terms import QueryTerm
 from repro.queries.polynomial import PolynomialQuery
@@ -30,6 +36,10 @@ from repro.queries.deviation import (
 )
 
 __all__ = [
+    "BANK_INDEX_MODES",
+    "SharedStructureBank",
+    "TemplateWindowState",
+    "template_key",
     "DataItem",
     "ItemRegistry",
     "QueryTerm",

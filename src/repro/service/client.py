@@ -49,12 +49,17 @@ class ServiceClient:
     async def connect_tcp(cls, host: str, port: int) -> "ServiceClient":
         return cls(await open_tcp_stream(host, port))
 
-    async def subscribe(self, queries: object = "*") -> Dict[str, float]:
-        """Send QUERY_SUB, start listening, return the initial snapshot."""
+    async def subscribe(self, queries: object = "*",
+                        definitions: object = None) -> Dict[str, float]:
+        """Send QUERY_SUB, start listening, return the initial snapshot.
+
+        ``definitions`` optionally registers new queries on the server
+        (PolynomialQuery objects or wire dicts) — they are implicitly
+        part of the subscription."""
         loop = asyncio.get_event_loop()
         waiter: asyncio.Future = loop.create_future()
         self._snapshot_waiters.append(waiter)
-        await self.stream.send(protocol.query_sub(queries))
+        await self.stream.send(protocol.query_sub(queries, definitions))
         self._listener = asyncio.ensure_future(self._listen())
         return await waiter
 

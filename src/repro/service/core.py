@@ -42,6 +42,11 @@ import numpy as np
 
 from repro.exceptions import GPError, SimulationError
 from repro.filters.assignment import DABAssignment, merge_primary
+from repro.queries.bank_index import (
+    BANK_INDEX_MODES,
+    SharedStructureBank,
+    TemplateWindowState,
+)
 from repro.queries.compiled import (
     CompiledPolynomial,
     CompiledQueryBank,
@@ -96,13 +101,14 @@ class CoordinatorCore:
         solver_breaker: Optional[object] = None,
         breaker_shrink: float = 0.9,
         recompute_strategy: str = "full",
+        bank_index: str = "flat",
     ):
         if not queries:
             raise SimulationError("a coordinator needs at least one query")
         names = [q.name for q in queries]
         if len(set(names)) != len(names):
             raise SimulationError("query names must be unique at a coordinator")
-        self.query_names = frozenset(names)
+        self.query_names = set(names)
         if mode is RecomputeMode.AAO_PERIODIC:
             if aao_planner is None or aao_period is None or aao_period < 1:
                 raise SimulationError(
@@ -137,6 +143,22 @@ class CoordinatorCore:
                 f"recompute_strategy must be 'full' or 'delta', "
                 f"got {recompute_strategy!r}")
         self.recompute_strategy = recompute_strategy
+        #: How the query bank is compiled: ``"flat"`` (one gather row per
+        #: term per query — the golden-pinned classic path) or
+        #: ``"shared"`` (structure-deduplicating
+        #: :class:`~repro.queries.bank_index.SharedStructureBank`: one
+        #: gather per distinct structure, per-query coefficient matrices,
+        #: slack-screened notifications and per-template window checks).
+        #: Journaled with every plan record when not "flat", mirroring
+        #: the ``recompute_strategy`` stamp.
+        if bank_index not in BANK_INDEX_MODES:
+            raise SimulationError(
+                f"bank_index must be one of {BANK_INDEX_MODES}, "
+                f"got {bank_index!r}")
+        if bank_index == "shared" and not vectorize:
+            raise SimulationError(
+                "bank_index='shared' requires vectorize=True")
+        self.bank_index_mode = bank_index
         #: query name -> (source plan, its shrunk stand-in) while the
         #: breaker is open (cached so shrinkage never compounds).
         self._breaker_plans: Dict[str, Tuple[DABAssignment, DABAssignment]] = {}
@@ -166,16 +188,17 @@ class CoordinatorCore:
         #: references, widened]; maintained incrementally as items refresh,
         #: rebuilt whenever the query's plan object changes.
         self._window_state: Dict[str, list] = {}
-        if self._vectorize:
-            self._power_table = PowerTable()
-            for query in self.queries:
-                self._compiled[query.name] = CompiledPolynomial(
-                    query, self._power_table)
-            self._power_vector = self._power_table.vector(self.cache)
-            self._bank = CompiledQueryBank(
-                [self._compiled[query.name] for query in self.queries])
-            self._bank_index = {query.name: i
-                                for i, query in enumerate(self.queries)}
+        #: Shared-structure index state (``bank_index="shared"`` only):
+        #: the deduplicating bank, the lazily-built per-template window
+        #: matrices, and the count of O(bank) recompilations (stays 0 on
+        #: the shared path — the bounded-work guarantee QUERY_SUB tests).
+        self._shared_bank: Optional[SharedStructureBank] = None
+        self._tpl_window: Dict[int, TemplateWindowState] = {}
+        self.bank_rebuilds = 0
+        #: Names added through :meth:`add_query` — persisted in
+        #: :meth:`recovery_state` so dynamically-registered queries
+        #: survive a snapshot + kill -9 restart.
+        self.dynamic_names: set = set()
 
         self.item_index: Dict[str, List[PolynomialQuery]] = {}
         for query in self.queries:
@@ -191,8 +214,39 @@ class CoordinatorCore:
         self._affected_idx: Dict[str, np.ndarray] = {}
         self._item_banks: Dict[str, CompiledQueryBank] = {}
         if self._vectorize:
-            self._qab_arr = np.array([q.qab for q in self.queries], dtype=float)
-            self._last_user_arr = np.zeros(len(self.queries))
+            self._power_table = PowerTable()
+            self._build_vectorized_state()
+
+        #: Per-item monotone DAB epoch (incremented on every shipped change).
+        self.epochs: Dict[str, int] = {}
+
+    def _build_vectorized_state(self) -> None:
+        """(Re)compile the vectorized evaluation structures.
+
+        The flat path rebuilds everything from the current ``queries``
+        list — O(bank), which is fine at construction and is what dynamic
+        membership changes cost without the shared index.  The shared
+        path builds the structure-deduplicating bank instead of the flat
+        per-query/per-item banks; later membership changes append to it
+        incrementally (:meth:`add_query`) and never re-enter this method.
+        """
+        table = self._power_table
+        for query in self.queries:
+            if query.name not in self._compiled:
+                self._compiled[query.name] = CompiledPolynomial(query, table)
+        self._bank_index = {query.name: i
+                            for i, query in enumerate(self.queries)}
+        if self.bank_index_mode == "shared":
+            if self._shared_bank is None:
+                self._shared_bank = SharedStructureBank(table)
+            for query in self.queries:
+                if query.name not in self._shared_bank:
+                    self._shared_bank.add_query(
+                        query, self._bank_index[query.name])
+            self._tpl_window.clear()
+        else:
+            self._bank = CompiledQueryBank(
+                [self._compiled[query.name] for query in self.queries])
             self._affected_idx = {
                 name: np.array([self._bank_index[q.name] for q in affected],
                                dtype=np.intp)
@@ -207,9 +261,14 @@ class CoordinatorCore:
                     [self._compiled[q.name] for q in affected])
                 for name, affected in self.item_index.items()
             }
-
-        #: Per-item monotone DAB epoch (incremented on every shipped change).
-        self.epochs: Dict[str, int] = {}
+        self._power_vector = table.vector(self.cache)
+        self._qab_arr = np.array([q.qab for q in self.queries], dtype=float)
+        last_user = np.zeros(len(self.queries))
+        for i, query in enumerate(self.queries):
+            seen = self.last_user_values.get(query.name)
+            if seen is not None:
+                last_user[i] = seen
+        self._last_user_arr = last_user
 
     # -- bootstrap --------------------------------------------------------------------
 
@@ -264,12 +323,49 @@ class CoordinatorCore:
         """Every query's value at the current cache, in ``queries`` order —
         one banked evaluation on vectorized runs."""
         if self._vectorize:
-            return self._bank.values_vector(self._power_vector).tolist()
+            return self.query_values_array().tolist()
         return [query.evaluate(self.cache) for query in self.queries]
 
     def query_values_array(self) -> np.ndarray:
         """Array form of :meth:`query_values` (vectorized runs only)."""
+        if self._shared_bank is not None:
+            return self._shared_bank.values_all(self._power_vector,
+                                                len(self.queries))
         return self._bank.values_vector(self._power_vector)
+
+    def bank_stats(self) -> Optional[Dict[str, object]]:
+        """The shared-index stats section; ``None`` in flat mode."""
+        if self._shared_bank is None:
+            return None
+        stats = self._shared_bank.stats()
+        stats["rebuilds"] = self.bank_rebuilds
+        return stats
+
+    def _sync_power_vector(self) -> None:
+        """Grow the power vector to cover slots a new template registered
+        (values from the current cache — O(new slots), not O(table))."""
+        table = self._power_table
+        vector = self._power_vector
+        if vector.shape[0] == len(table):
+            return
+        grown = np.empty(len(table))
+        grown[: vector.shape[0]] = vector
+        for i in range(vector.shape[0] - 1, len(table.pairs)):
+            name, exponent = table.pairs[i]
+            grown[i + 1] = self.cache[name] ** exponent
+        self._power_vector = grown
+
+    def _ensure_query_capacity(self, size: int) -> None:
+        """Amortised growth of the per-query arrays (shared adds are
+        O(1) per subscribe, not O(bank))."""
+        if self._qab_arr.shape[0] >= size:
+            return
+        capacity = max(size, 2 * self._qab_arr.shape[0])
+        for attr in ("_qab_arr", "_last_user_arr"):
+            old = getattr(self, attr)
+            grown = np.zeros(capacity)
+            grown[: old.shape[0]] = old
+            setattr(self, attr, grown)
 
     def uncertainty_widened_bound(self, query: PolynomialQuery,
                                   drifts: Mapping[str, float]) -> float:
@@ -413,21 +509,31 @@ class CoordinatorCore:
         self._breaker_plans[query.name] = (previous, shrunk)
         return shrunk
 
+    def _journal_plan(self, name: str, plan: DABAssignment) -> None:
+        if self.journal is None:
+            return
+        from repro.service.journal import plan_to_wire
+
+        record = {"t": "plan", "q": name, "plan": plan_to_wire(plan)}
+        if self.recompute_strategy != "full":
+            # Full-mode journals stay byte-identical to the pre-delta
+            # format; delta runs stamp the strategy so replay can
+            # verify it restored under the same one.
+            record["mode"] = self.recompute_strategy
+        if self.bank_index_mode != "flat":
+            # Same contract for the bank-index mode: flat journals stay
+            # byte-identical, shared runs stamp the mode so flat- and
+            # shared-mode histories can never be confused on replay.
+            record["bank_index"] = self.bank_index_mode
+        self.journal.append(record)
+
     def _recompute(self, query: PolynomialQuery) -> None:
         plan = self._plan_query(query)
         self.plans[query.name] = plan
         self.metrics.record_recomputation(query.name)
-        if self.journal is not None:
-            from repro.service.journal import plan_to_wire
-
-            record = {"t": "plan", "q": query.name,
-                      "plan": plan_to_wire(plan)}
-            if self.recompute_strategy != "full":
-                # Full-mode journals stay byte-identical to the pre-delta
-                # format; delta runs stamp the strategy so replay can
-                # verify it restores under the same one.
-                record["mode"] = self.recompute_strategy
-            self.journal.append(record)
+        self._journal_plan(query.name, plan)
+        if self._shared_bank is not None:
+            self._refresh_window_row(query.name)
         if self.recompute_hook is not None:
             self.recompute_hook()
 
@@ -459,6 +565,8 @@ class CoordinatorCore:
         value)`` pairs whose result moved beyond its QAB since the user
         last saw it, and whether any plan was recomputed (in which case the
         adapter should ship :meth:`changed_bound_updates`)."""
+        if self._shared_bank is not None:
+            return self._react_shared(item)
         notifications: List[Tuple[str, float]] = []
         affected = self.item_index.get(item, [])
         recomputed = False
@@ -542,6 +650,201 @@ class CoordinatorCore:
                                  "values": dict(notifications)})
         return notifications, recomputed
 
+    def _react_shared(self, item: str) -> Tuple[List[Tuple[str, float]], bool]:
+        """Shared-index reaction: slack-screened notifications plus
+        per-template window checks (DESIGN.md §13).
+
+        The notification *decisions* match the flat path's exact per-tick
+        evaluation (screened-out members provably cannot have crossed
+        their QAB); the values themselves differ from the flat sums only
+        in float association (``W @ P``).  Breach/recompute decisions are
+        driven purely by plans and cached item values, so they agree with
+        the flat path exactly.
+        """
+        shared = self._shared_bank
+        notifications: List[Tuple[str, float]] = []
+        recomputed = False
+        moved_pos, moved_val = shared.refresh_movers(
+            item, self._power_vector, self._last_user_arr, self._qab_arr)
+        for position, value in zip(moved_pos, moved_val):
+            name = self.queries[position].name
+            self.last_user_values[name] = value
+            self._last_user_arr[position] = value
+            self.metrics.record_user_notification()
+            notifications.append((name, value))
+        if self.mode is RecomputeMode.EVERY_REFRESH:
+            for query in self.item_index.get(item, []):
+                self._recompute(query)
+                recomputed = True
+        else:
+            cache_value = self.cache[item]
+            for tid in shared.templates_of_item(item):
+                window = self._window_for(tid)
+                for row in window.update_item(item, cache_value).tolist():
+                    self._recompute(self.queries[int(window.positions[row])])
+                    recomputed = True
+                fallback = window.fallback_rows()
+                for row in fallback.tolist():
+                    query = self.queries[int(window.positions[row])]
+                    plan = self.plans.get(query.name)
+                    if plan is None or not self._window_contains(query, plan,
+                                                                 item):
+                        self._recompute(query)
+                        recomputed = True
+        if notifications and self.journal is not None:
+            self.journal.append({"t": "notify",
+                                 "values": dict(notifications)})
+        return notifications, recomputed
+
+    def _window_for(self, tid: int) -> TemplateWindowState:
+        """The template's window matrices, rebuilt when membership moved."""
+        shared = self._shared_bank
+        window = self._tpl_window.get(tid)
+        version = shared.template_version(tid)
+        if window is None or window.version != version:
+            window = TemplateWindowState(shared.template_items(tid),
+                                         shared.template_positions(tid),
+                                         version)
+            for row, name in enumerate(shared.template_names(tid)):
+                self._set_window_row(window, row, name)
+            self._tpl_window[tid] = window
+        return window
+
+    def _set_window_row(self, window: TemplateWindowState, row: int,
+                        name: str) -> None:
+        """Adopt ``name``'s current plan into its window-matrix row.
+
+        Mirrors ``_window_contains``'s plan interpretation: single-DAB
+        plans, unplanned queries and plans with missing references all
+        become fallback rows handled by the scalar predicate.
+        """
+        plan = self.plans.get(name)
+        if plan is None or plan.secondary is None:
+            window.set_fallback(row)
+            return
+        query = self.queries[self._bank_index[name]]
+        variables = set(query.variables)
+        references: Dict[str, float] = {}
+        widened: Dict[str, float] = {}
+        for item in plan.primary:
+            if item not in variables:
+                continue
+            reference = plan.reference_values.get(item)
+            if reference is None:
+                window.set_fallback(row)
+                return
+            references[item] = reference
+            widened[item] = plan.secondary[item] + 1e-12
+        window.set_row(row, references, widened, self.cache)
+
+    def _refresh_window_row(self, name: str) -> None:
+        shared = self._shared_bank
+        tid = shared.template_of(name)
+        window = self._tpl_window.get(tid)
+        if window is not None and window.version == shared.template_version(tid):
+            self._set_window_row(window, shared.member_row(name), name)
+
+    # -- dynamic membership (live QUERY_SUB path) --------------------------------------
+
+    def add_query(self, query: PolynomialQuery, plan: bool = True) -> int:
+        """Register a query at runtime; returns its bank position.
+
+        Shared-index mode appends in O(template): the structure index,
+        power vector and notification arrays all grow incrementally.
+        Flat mode recompiles the vectorized state — the O(bank) work the
+        shared index exists to avoid, counted in ``bank_rebuilds``.
+        ``plan=False`` skips the solve (journal replay installs the
+        journaled plan instead).
+        """
+        name = query.name
+        if name in self.query_names:
+            raise SimulationError(f"query {name!r} already registered")
+        unknown = [v for v in query.variables if v not in self.cache]
+        if unknown:
+            raise SimulationError(
+                f"query {name!r} references unknown items: {unknown}")
+        position = len(self.queries)
+        self.queries.append(query)
+        self.query_names.add(name)
+        self.dynamic_names.add(name)
+        for item in query.variables:
+            self.item_index.setdefault(item, []).append(query)
+        if self._vectorize:
+            if self._shared_bank is not None:
+                self._compiled[name] = CompiledPolynomial(
+                    query, self._power_table)
+                self._bank_index[name] = position
+                tid = self._shared_bank.add_query(query, position)
+                self._sync_power_vector()
+                self._ensure_query_capacity(position + 1)
+                self._qab_arr[position] = query.qab
+                self._tpl_window.pop(tid, None)
+            else:
+                self.bank_rebuilds += 1
+                self._build_vectorized_state()
+        if self.journal is not None:
+            from repro.service.protocol import query_to_wire
+
+            self.journal.append({"t": "qadd", "query": query_to_wire(query)})
+        if plan:
+            assignment = self._plan_query(query)
+            self.plans[name] = assignment
+            self._journal_plan(name, assignment)
+        value = self.query_value(query)
+        self.last_user_values[name] = value
+        if self._last_user_arr is not None:
+            self._last_user_arr[position] = value
+        return position
+
+    def remove_query(self, name: str) -> None:
+        """Drop a dynamically-registered query (swap-remove; O(template)
+        in shared mode, an O(bank) recompile in flat mode)."""
+        if name not in self.query_names:
+            raise SimulationError(f"unknown query {name!r}")
+        if len(self.queries) == 1:
+            raise SimulationError("a coordinator needs at least one query")
+        if self._vectorize:
+            position = self._bank_index[name]
+        else:
+            position = next(i for i, q in enumerate(self.queries)
+                            if q.name == name)
+        query = self.queries[position]
+        last = len(self.queries) - 1
+        moved = self.queries[last]
+        self.queries[position] = moved
+        self.queries.pop()
+        self.query_names.discard(name)
+        self.dynamic_names.discard(name)
+        for item in query.variables:
+            bucket = self.item_index.get(item)
+            if bucket is not None:
+                bucket.remove(query)
+                if not bucket:
+                    del self.item_index[item]
+        self.plans.pop(name, None)
+        self.last_user_values.pop(name, None)
+        self._window_state.pop(name, None)
+        self._breaker_plans.pop(name, None)
+        if self._vectorize:
+            del self._bank_index[name]
+            self._compiled.pop(name, None)
+            if self._shared_bank is not None:
+                tid = self._shared_bank.template_of(name)
+                self._shared_bank.remove_query(name)
+                self._tpl_window.pop(tid, None)
+                if position != last:
+                    self._bank_index[moved.name] = position
+                    self._shared_bank.set_position(moved.name, position)
+                    self._tpl_window.pop(
+                        self._shared_bank.template_of(moved.name), None)
+                    self._qab_arr[position] = self._qab_arr[last]
+                    self._last_user_arr[position] = self._last_user_arr[last]
+            else:
+                self.bank_rebuilds += 1
+                self._build_vectorized_state()
+        if self.journal is not None:
+            self.journal.append({"t": "qdel", "name": name})
+
     # -- plan fanout -------------------------------------------------------------------
 
     def changed_bound_updates(self) -> Dict[int, BoundUpdate]:
@@ -600,6 +903,7 @@ class CoordinatorCore:
             self.metrics.record_solver_fallback()
             return False
         self.plans = dict(multi.per_query)
+        self._tpl_window.clear()
         self.metrics.record_recomputation("__aao__")
         if self.journal is not None:
             from repro.service.journal import plan_to_wire
@@ -621,7 +925,7 @@ class CoordinatorCore:
         the breaker's last-good plan set)."""
         from repro.service.journal import plan_to_wire
 
-        return {
+        state: Dict[str, object] = {
             "cache": dict(self.cache),
             "epochs": dict(self.epochs),
             "last_sent_bounds": dict(self._last_sent_bounds),
@@ -629,11 +933,30 @@ class CoordinatorCore:
             "plans": {name: plan_to_wire(plan)
                       for name, plan in sorted(self.plans.items())},
         }
+        if self.dynamic_names:
+            # Only when present — snapshots of a static bank stay
+            # byte-identical to the pre-index format.
+            from repro.service.protocol import query_to_wire
+
+            state["dynamic_queries"] = [
+                query_to_wire(query) for query in
+                sorted((q for q in self.queries
+                        if q.name in self.dynamic_names),
+                       key=lambda q: q.name)]
+        return state
 
     def restore_recovery_state(self, state: Mapping[str, object]) -> None:
         """Adopt a :meth:`recovery_state` snapshot wholesale."""
         from repro.service.journal import plan_from_wire
+        from repro.service.protocol import query_from_wire
 
+        # Dynamic queries first: the plans/user values below may belong
+        # to them.  (No journal is attached yet on the restore path, so
+        # these re-registrations are not re-journaled.)
+        for wire in state.get("dynamic_queries", ()):
+            query = query_from_wire(wire)
+            if query.name not in self.query_names:
+                self.add_query(query, plan=False)
         for item, value in state["cache"].items():
             self.restore_cache_value(item, float(value))
         self.epochs = {name: int(epoch)
@@ -647,6 +970,9 @@ class CoordinatorCore:
         # Identity-keyed caches are meaningless across a restart.
         self._window_state.clear()
         self._breaker_plans.clear()
+        self._tpl_window.clear()
+        if self._shared_bank is not None:
+            self._shared_bank.invalidate()
 
     def restore_cache_value(self, item: str, value: float) -> None:
         """Set one cached value during replay — no metrics, no journal."""
@@ -663,3 +989,7 @@ class CoordinatorCore:
         self.last_user_values[name] = float(value)
         if self._last_user_arr is not None:
             self._last_user_arr[self._bank_index[name]] = float(value)
+        if self._shared_bank is not None:
+            # Screening thresholds are anchored on last-user values; a
+            # value restored behind the bank's back must drop them.
+            self._shared_bank.invalidate()

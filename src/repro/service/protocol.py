@@ -133,6 +133,33 @@ def _is_queries(value: object) -> bool:
     return value == "*" or _is_str_list(value)
 
 
+def _is_exponent_map(value: object) -> bool:
+    return (isinstance(value, dict) and len(value) > 0
+            and all(isinstance(k, str) and _is_int(v) and v > 0
+                    for k, v in value.items()))
+
+
+def _is_definition(value: object) -> bool:
+    if not isinstance(value, dict):
+        return False
+    if not (_is_str(value.get("name")) and value["name"]):
+        return False
+    qab = value.get("qab")
+    if not (_is_number(qab) and qab > 0):
+        return False
+    terms = value.get("terms")
+    if not (isinstance(terms, list) and terms):
+        return False
+    return all(isinstance(term, dict)
+               and _is_number(term.get("weight")) and term["weight"] != 0
+               and _is_exponent_map(term.get("exponents"))
+               for term in terms)
+
+
+def _is_definitions(value: object) -> bool:
+    return isinstance(value, list) and all(_is_definition(v) for v in value)
+
+
 def _is_list(value: object) -> bool:
     return isinstance(value, list)
 
@@ -170,6 +197,12 @@ _OPTIONAL: Dict[MessageType, Dict[str, Callable[[object], bool]]] = {
     MessageType.NOTIFY: {"sent_at": _is_number, "refresh_sent_at": _is_number,
                          "degraded": _is_number_map},
     MessageType.SNAPSHOT: {"degraded": _is_number_map},
+    # ``definitions`` lets a subscriber *register* queries it wants served
+    # (the incremental bank-append path) instead of only naming existing
+    # ones; each entry is ``{"name", "qab", "terms": [{"weight",
+    # "exponents"}]}`` — the same wire shape the journal's ``qadd``
+    # records use, so replay and subscription decode identically.
+    MessageType.QUERY_SUB: {"definitions": _is_definitions},
 }
 
 
@@ -346,11 +379,51 @@ def heartbeat(source_id: int, seqs: Mapping[str, int]) -> Dict[str, Any]:
                     seqs={k: int(v) for k, v in seqs.items()})
 
 
-def query_sub(queries: object = "*") -> Dict[str, Any]:
-    """Subscribe to ``queries`` — a list of query names, or ``"*"``."""
+def query_sub(queries: object = "*",
+              definitions: Optional[Sequence[Any]] = None) -> Dict[str, Any]:
+    """Subscribe to ``queries`` — a list of query names, or ``"*"``.
+
+    ``definitions`` optionally carries :class:`PolynomialQuery` objects
+    (or already-wire-shaped dicts) to *register* before subscribing —
+    the incremental bank-append path; the server rejects a definition
+    whose name is taken by a structurally different query."""
     if queries != "*":
         queries = sorted(queries)
-    return _message(MessageType.QUERY_SUB, queries=queries)
+    wire_defs = None
+    if definitions is not None:
+        wire_defs = [entry if isinstance(entry, dict) else query_to_wire(entry)
+                     for entry in definitions]
+    return _message(MessageType.QUERY_SUB, queries=queries,
+                    definitions=wire_defs)
+
+
+def query_to_wire(query: Any) -> Dict[str, Any]:
+    """The canonical wire/journal encoding of one polynomial query."""
+    return {
+        "name": query.name,
+        "qab": float(query.qab),
+        "terms": [{"weight": float(term.weight),
+                   "exponents": {k: int(v)
+                                 for k, v in sorted(term.exponents.items())}}
+                  for term in query.terms],
+    }
+
+
+def query_from_wire(data: Mapping[str, Any]) -> Any:
+    """Decode a :func:`query_to_wire` dict back into a PolynomialQuery.
+
+    Raises :class:`ProtocolError` on a malformed definition — the same
+    failure surface whether the dict came off a socket or a journal."""
+    if not _is_definition(data):
+        raise ProtocolError(f"malformed query definition: {data!r}")
+    from repro.queries.polynomial import PolynomialQuery
+    from repro.queries.terms import QueryTerm
+    try:
+        terms = [QueryTerm(term["weight"], term["exponents"])
+                 for term in data["terms"]]
+        return PolynomialQuery(terms, data["qab"], data["name"])
+    except ReproError as error:
+        raise ProtocolError(f"invalid query definition: {error}")
 
 
 def notify(updates: Sequence[Mapping[str, Any]], *,

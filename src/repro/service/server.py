@@ -32,7 +32,7 @@ import asyncio
 import time as _time
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, SimulationError
 from repro.queries.polynomial import PolynomialQuery
 from repro.service import protocol
 from repro.service.core import CoordinatorCore, RecomputeMode
@@ -59,6 +59,9 @@ class _Subscriber:
             asyncio.Queue(maxsize=limit))
         self.writer_task: Optional[asyncio.Task] = None
         self.evicted = False
+        #: Dynamic queries this subscriber holds a refcount on; released
+        #: (and the query removed on the last reference) when it drops.
+        self.registered: Set[str] = set()
 
     def wants(self, query_name: str) -> bool:
         return self.queries is None or query_name in self.queries
@@ -90,6 +93,7 @@ class CoordinatorServer:
         journal: Optional[Journal] = None,
         bootstrap: bool = True,
         recompute_strategy: str = "full",
+        bank_index: str = "flat",
     ):
         self.metrics = metrics if metrics is not None else MetricsCollector(
             recompute_cost=recompute_cost)
@@ -99,6 +103,7 @@ class CoordinatorServer:
             aao_planner=aao_planner, aao_period=aao_period,
             vectorize=vectorize, solver_breaker=solver_breaker,
             recompute_strategy=recompute_strategy,
+            bank_index=bank_index,
         )
         #: ``bootstrap=False`` defers the initial GP solves to
         #: :meth:`restore` — the journaled start path, where a snapshot
@@ -116,6 +121,13 @@ class CoordinatorServer:
         self.last_recovery: Optional[Dict[str, Any]] = None
         self.notify_queue_limit = int(notify_queue_limit)
         self._query_names = {query.name for query in self.core.queries}
+        #: name -> query object (O(1) duplicate/conflict checks on the
+        #: incremental QUERY_SUB registration path — never an O(bank)
+        #: scan) and name -> live subscriber refcount for queries added
+        #: through QUERY_SUB ``definitions``.
+        self._query_objects = {query.name: query
+                               for query in self.core.queries}
+        self._dynamic_refs: Dict[str, int] = {}
 
         #: How long a graceful subscriber drop waits for its writer task
         #: to flush before cancelling it (seconds).
@@ -325,6 +337,14 @@ class CoordinatorServer:
         elif kind == "notify":
             for name, value in (record.get("values") or {}).items():
                 self.core.restore_user_value(str(name), float(value))
+        elif kind == "qadd":
+            query = protocol.query_from_wire(record["query"])
+            if query.name not in self.core.query_names:
+                self.core.add_query(query, plan=False)
+        elif kind == "qdel":
+            name = str(record["name"])
+            if name in self.core.query_names:
+                self.core.remove_query(name)
         else:
             raise JournalError(f"unknown journal record type {kind!r}")
 
@@ -370,6 +390,15 @@ class CoordinatorServer:
         elif replayed:
             # Replayed plans/values may be far from any cached warm start.
             self.core.clear_planner_warm_starts()
+        # Replayed qadd/qdel records (and snapshot dynamic queries) grew
+        # the bank behind the server's name maps — re-sync them.  The
+        # subscribers holding the references died with the old process,
+        # so restored dynamic queries start at refcount 0 and live until
+        # a future subscriber claims and then releases them.
+        self._query_names = {query.name for query in self.core.queries}
+        self._query_objects = {query.name: query
+                               for query in self.core.queries}
+        self._dynamic_refs = {name: 0 for name in self.core.dynamic_names}
         self.core.journal = journal
         self._journal_attached = True
         self.last_recovery = {
@@ -426,10 +455,12 @@ class CoordinatorServer:
                         await self._safe_send(stream, protocol.error(
                             f"unexpected {kind.value} from a client"))
                         break
-                except (ValueError, TypeError, KeyError) as err:
+                except (ValueError, TypeError, KeyError,
+                        ProtocolError) as err:
                     # validate_message shape-checks every known field, but
-                    # a handler tripping over a hostile payload must still
-                    # answer with a protocol error, not kill the task.
+                    # a handler tripping over a hostile payload (or a
+                    # conflicting QUERY_SUB definition) must still answer
+                    # with a protocol error, not kill the task.
                     self.stats["protocol_errors"] += 1
                     await self._safe_send(stream, protocol.error(
                         f"malformed {kind.value} message: {err}"))
@@ -754,16 +785,88 @@ class CoordinatorServer:
 
     # -- subscriber plane -----------------------------------------------------------
 
+    def _register_definitions(self, definitions: List[Any]) -> Set[str]:
+        """Register QUERY_SUB ``definitions`` incrementally; returns the
+        names this subscriber now holds a reference on.
+
+        Work is bounded per definition (template-sized, never O(bank)):
+        duplicate detection is one dict probe, a brand-new query is an
+        index *append* (``core.add_query``), and an exact re-registration
+        of a live dynamic query just bumps its refcount.  A name collision
+        with a structurally different query is a protocol error — raised
+        before anything is registered, so a rejected message has no
+        partial effect."""
+        decoded = [protocol.query_from_wire(data) for data in definitions]
+        staged: Dict[str, PolynomialQuery] = {}
+        for query in decoded:
+            existing = (self._query_objects.get(query.name)
+                        or staged.get(query.name))
+            if existing is not None and existing != query:
+                raise ProtocolError(
+                    f"query {query.name!r} is already registered with a "
+                    "different definition")
+            if existing is None:
+                unknown = [v for v in query.variables
+                           if v not in self.core.cache]
+                if unknown:
+                    raise ProtocolError(
+                        f"query {query.name!r} references unknown items: "
+                        f"{sorted(unknown)}")
+                staged[query.name] = query
+        registered: Set[str] = set()
+        for query in decoded:
+            if query.name in staged:
+                self.core.add_query(query)
+                self._query_objects[query.name] = query
+                self._query_names.add(query.name)
+                self._dynamic_refs[query.name] = 1
+                registered.add(query.name)
+                del staged[query.name]
+            elif (query.name in self._dynamic_refs
+                  and query.name not in registered):
+                self._dynamic_refs[query.name] += 1
+                registered.add(query.name)
+        return registered
+
+    def _release_dynamic(self, sub: _Subscriber) -> None:
+        """Drop this subscriber's references; remove a dynamic query when
+        the last reference goes (the core keeps it only if it is the very
+        last query standing — a coordinator cannot run empty)."""
+        for name in sub.registered:
+            refs = self._dynamic_refs.get(name)
+            if refs is None:
+                continue
+            if refs > 1:
+                self._dynamic_refs[name] = refs - 1
+                continue
+            try:
+                self.core.remove_query(name)
+            except SimulationError:
+                self._dynamic_refs[name] = 0
+                continue
+            del self._dynamic_refs[name]
+            self._query_objects.pop(name, None)
+            self._query_names.discard(name)
+        sub.registered = set()
+
     async def _on_query_sub(self, stream: MessageStream,
                             message: Dict[str, Any]) -> _Subscriber:
+        registered: Set[str] = set()
+        definitions = message.get("definitions")
+        if definitions:
+            registered = self._register_definitions(definitions)
         wanted = message["queries"]
         if wanted == "*":
             names: Optional[Set[str]] = None
         else:
             names = {name for name in wanted if name in self._query_names}
+            # Definitions are implicitly subscribed — naming them again
+            # in ``queries`` would be redundant boilerplate.
+            names |= {data["name"] for data in definitions or []}
         self._sub_counter += 1
         sub = _Subscriber(self._sub_counter, stream, names,
                           self.notify_queue_limit)
+        sub.registered = registered
         self._subscribers[sub.sub_id] = sub
         self.stats["subscribers"] = len(self._subscribers)
         sub.writer_task = asyncio.ensure_future(self._subscriber_writer(sub))
@@ -816,6 +919,7 @@ class CoordinatorServer:
         self.stats["slow_consumer_evictions"] += 1
         self._subscribers.pop(sub.sub_id, None)
         self.stats["subscribers"] = len(self._subscribers)
+        self._release_dynamic(sub)
         if sub.writer_task is not None:
             sub.writer_task.cancel()
         sub.stream.close()
@@ -823,6 +927,7 @@ class CoordinatorServer:
     async def _drop_subscriber(self, sub: _Subscriber) -> None:
         self._subscribers.pop(sub.sub_id, None)
         self.stats["subscribers"] = len(self._subscribers)
+        self._release_dynamic(sub)
         if sub.writer_task is not None and not sub.writer_task.done():
             try:
                 sub.queue.put_nowait(None)     # graceful: flush, then stop
@@ -888,6 +993,10 @@ class CoordinatorServer:
         delta = find_delta_planner(self.core.planner)
         if delta is not None:
             stats["delta_recompute"] = delta.stats.snapshot()
+        bank = self.core.bank_stats()
+        if bank is not None:
+            stats["bank_index"] = bank
+            stats["bank_index"]["dynamic_queries"] = len(self._dynamic_refs)
         return stats
 
 
@@ -907,6 +1016,7 @@ def build_scenario_server(
     vectorize: bool = True,
     notify_queue_limit: int = DEFAULT_NOTIFY_QUEUE_LIMIT,
     recompute_mode: str = "full",
+    bank_index: str = "flat",
     **server_kwargs: Any,
 ):
     """A :class:`CoordinatorServer` plus its scenario, built exactly like a
@@ -943,7 +1053,7 @@ def build_scenario_server(
         queries=scenario.queries, traces=scenario.traces,
         algorithm=algorithm, recompute_cost=recompute_cost,
         source_count=source_count, seed=seed, vectorize=vectorize,
-        recompute_mode=recompute_mode,
+        recompute_mode=recompute_mode, bank_index=bank_index,
     )
     if config.algorithm is AlgorithmName.AAO_T:
         raise ReproError("the live service has no periodic scheduler yet; "
@@ -958,7 +1068,8 @@ def build_scenario_server(
                            recompute_cost=recompute_cost)
     planner = build_planner(config, cost_model)
     if config.cache_grid is not None:
-        planner = QuantisingCachePlanner(planner, grid=config.cache_grid)
+        planner = QuantisingCachePlanner(planner, grid=config.cache_grid,
+                                         bank_index_mode=bank_index)
     item_to_source = assign_items_to_sources(items, source_count)
     server = CoordinatorServer(
         queries=config.queries, planner=planner,
@@ -968,6 +1079,7 @@ def build_scenario_server(
         vectorize=vectorize, recompute_cost=recompute_cost,
         notify_queue_limit=notify_queue_limit,
         recompute_strategy=recompute_mode,
+        bank_index=bank_index,
         **server_kwargs,
     )
     return server, scenario, item_to_source

@@ -87,6 +87,7 @@ class Coordinator:
         fault_model: Optional[FaultModel] = None,
         vectorize: bool = False,
         recompute_strategy: str = "full",
+        bank_index: str = "flat",
     ):
         self.core = CoordinatorCore(
             queries=queries,
@@ -100,6 +101,7 @@ class Coordinator:
             vectorize=vectorize,
             recompute_hook=self._charge_recompute_time,
             recompute_strategy=recompute_strategy,
+            bank_index=bank_index,
         )
         self.queue = queue
         self.metrics = metrics
@@ -201,6 +203,10 @@ class Coordinator:
 
     def query_values_array(self) -> np.ndarray:
         return self.core.query_values_array()
+
+    def bank_stats(self) -> Optional[Dict[str, Any]]:
+        """Shared-structure bank-index stats (``None`` in flat mode)."""
+        return self.core.bank_stats()
 
     # -- wiring ---------------------------------------------------------------------
 

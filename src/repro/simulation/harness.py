@@ -38,6 +38,7 @@ from repro.filters.dual_dab import DualDABPlanner
 from repro.filters.heuristics import DifferentSumPlanner, HalfAndHalfPlanner
 from repro.filters.multi_query import AAOPlanner
 from repro.filters.optimal_refresh import OptimalRefreshPlanner
+from repro.queries.bank_index import BANK_INDEX_MODES
 from repro.queries.polynomial import PolynomialQuery
 from repro.simulation.coordinator import Coordinator, RecomputeMode
 from repro.simulation.engine import SimulationEngine
@@ -137,6 +138,12 @@ class SimulationConfig:
     #: the full solve when the patch's KKT residual or the QAB invariant
     #: rejects it (see :mod:`repro.filters.delta_recompute`).
     recompute_mode: str = "full"
+    #: ``"flat"`` keeps the per-query compiled bank (bit-identical to the
+    #: pre-index path); ``"shared"`` routes evaluation, notification
+    #: screening and window checks through the structure-deduplicating
+    #: :class:`~repro.queries.bank_index.SharedStructureBank` so per-tick
+    #: cost scales with *distinct structures*, not bank size.
+    bank_index: str = "flat"
 
     def __post_init__(self) -> None:
         self.algorithm = AlgorithmName.from_string(self.algorithm)
@@ -166,6 +173,14 @@ class SimulationConfig:
                 raise SimulationError(
                     "recompute_mode='delta' needs the compiled-GP templates; "
                     "it cannot be combined with vectorize=False")
+        if self.bank_index not in BANK_INDEX_MODES:
+            raise SimulationError(
+                f"bank_index must be one of {BANK_INDEX_MODES}, "
+                f"got {self.bank_index!r}")
+        if self.bank_index == "shared" and not self.vectorize:
+            raise SimulationError(
+                "bank_index='shared' needs the compiled query bank; "
+                "it cannot be combined with vectorize=False")
         missing = [name for q in self.queries for name in q.variables
                    if name not in self.traces]
         if missing:
@@ -194,6 +209,11 @@ class SimulationResult:
     #: patch-hit/fallback rates) from the delta planner's stats.
     recompute_mode: str = "full"
     recompute_latency: Optional[Dict[str, float]] = None
+    #: The run's ``--bank-index`` mode and, in ``shared`` mode, the
+    #: structure-index stats plane (distinct structures, dedup ratio,
+    #: screening counters, update-latency percentiles).
+    bank_index: str = "flat"
+    bank_stats: Optional[Dict[str, object]] = None
 
 
 #: Algorithms whose planner stack routes PPQ solves through the dual-DAB
@@ -229,6 +249,7 @@ def _dual_dab_stack(config: SimulationConfig,
     return DeltaRecomputePlanner(
         DualDABPlanner(cost_model, use_compiled=config.vectorize),
         mode=config.recompute_mode,
+        share_templates=config.bank_index == "shared",
     )
 
 
@@ -303,7 +324,8 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
     planner = build_planner(config, cost_model)
     cache: Optional[QuantisingCachePlanner] = None
     if config.cache_grid is not None:
-        cache = QuantisingCachePlanner(planner, grid=config.cache_grid)
+        cache = QuantisingCachePlanner(planner, grid=config.cache_grid,
+                                       bank_index_mode=config.bank_index)
         planner = cache
 
     metrics = MetricsCollector(recompute_cost=config.recompute_cost)
@@ -353,6 +375,7 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
         fault_model=fault_model,
         vectorize=config.vectorize,
         recompute_strategy=config.recompute_mode,
+        bank_index=config.bank_index,
     )
     coordinator.attach_sources(sources.values())
     coordinator.initial_plan()
@@ -438,6 +461,12 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
                                        delta.stats.fallbacks)
         recompute_latency = delta.stats.latency_summary()
 
+    bank_stats = coordinator.bank_stats()
+    if bank_stats is not None:
+        metrics.record_bank_index(
+            int(bank_stats.get("distinct_structures", 0)),
+            float(bank_stats.get("dedup_ratio", 1.0)))
+
     return SimulationResult(
         metrics=metrics.summary(),
         algorithm=config.algorithm,
@@ -447,4 +476,6 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
         loop_seconds=loop_seconds,
         recompute_mode=config.recompute_mode,
         recompute_latency=recompute_latency,
+        bank_index=config.bank_index,
+        bank_stats=bank_stats,
     )

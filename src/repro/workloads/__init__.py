@@ -5,6 +5,8 @@ from repro.workloads.generator import (
     generate_arbitrage_queries,
     generate_laq_queries,
     generate_portfolio_queries,
+    generate_template_bank,
+    iter_template_bank,
     split_items_80_20,
 )
 from repro.workloads.scenarios import (
@@ -19,6 +21,8 @@ __all__ = [
     "generate_portfolio_queries",
     "generate_arbitrage_queries",
     "generate_laq_queries",
+    "generate_template_bank",
+    "iter_template_bank",
     "split_items_80_20",
     "PaperScenario",
     "paper_registry",

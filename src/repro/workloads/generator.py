@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -121,6 +121,67 @@ def generate_portfolio_queries(
         qab = max(cfg.ppq_qab_fraction * abs(initial), 1e-9)
         queries.append(provisional.with_qab(qab))
     return queries
+
+
+def iter_template_bank(
+    registry: ItemRegistry,
+    initial_values: Mapping[str, float],
+    count: int,
+    distinct_structures: int,
+    config: Optional[WorkloadConfig] = None,
+    seed: int = 0,
+    name_prefix: str = "bank",
+) -> Iterator[PolynomialQuery]:
+    """Streaming form of :func:`generate_template_bank`: yields the same
+    queries one at a time, so a 10^6-query bank never has to exist as a
+    Python list (the scaling bench indexes and drops each query)."""
+    cfg = config or WorkloadConfig()
+    if distinct_structures < 1:
+        raise SimulationError(
+            f"distinct_structures must be >= 1, got {distinct_structures}")
+    if distinct_structures > count:
+        raise SimulationError(
+            f"distinct_structures ({distinct_structures}) cannot exceed the "
+            f"bank size ({count})")
+    group1, group2 = split_items_80_20(registry, cfg)
+    rng = np.random.default_rng(seed)
+    structures: List[List[str]] = []
+    for _ in range(distinct_structures):
+        pairs = int(rng.integers(cfg.pairs_per_query[0],
+                                 cfg.pairs_per_query[1] + 1))
+        structures.append(_draw_items(rng, group1, group2, 2 * pairs, cfg))
+    for index in range(count):
+        items = structures[index % distinct_structures]
+        terms = _pair_terms(rng, items, cfg, sign=1.0)
+        provisional = PolynomialQuery(terms, qab=1.0,
+                                      name=f"{name_prefix}{index}")
+        initial = provisional.evaluate(initial_values)
+        qab = max(cfg.ppq_qab_fraction * abs(initial), 1e-9)
+        yield provisional.with_qab(qab)
+
+
+def generate_template_bank(
+    registry: ItemRegistry,
+    initial_values: Mapping[str, float],
+    count: int,
+    distinct_structures: int,
+    config: Optional[WorkloadConfig] = None,
+    seed: int = 0,
+    name_prefix: str = "bank",
+) -> List[PolynomialQuery]:
+    """``count`` portfolio PPQs drawn from ``distinct_structures`` monomial
+    structures — the shared-bank-index scaling workload.
+
+    A *structure* is a fixed (item, exponent) footprint; every query built
+    on it gets fresh uniform weights and its own QAB, so structurally-
+    identical queries are still distinct optimisation problems.  This is
+    the 80-20 regime taken to bank scale: most of a large subscriber
+    population watches the same few aggregate shapes over the hot items,
+    so per-tick cost should follow ``distinct_structures``, not ``count``.
+    """
+    return list(iter_template_bank(registry, initial_values, count,
+                                   distinct_structures, config=config,
+                                   seed=seed, name_prefix=name_prefix))
 
 
 def generate_laq_queries(

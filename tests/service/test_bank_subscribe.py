@@ -1,0 +1,208 @@
+"""Live QUERY_SUB registration against the shared bank index (ISSUE 8).
+
+The bounded-work contract: subscribing N new query definitions costs N
+index *appends* (template-sized work each), never an O(bank) vectorized
+rebuild — ``core.bank_rebuilds`` must stay 0 in shared mode while a
+thousand definitions stream in.  Plus the registration semantics around
+it: idempotent duplicate registration via refcounts, validate-all-first
+rejection (no partial effect), and last-reference removal when the
+defining subscriber goes away.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.queries import PolynomialQuery, QueryTerm
+from repro.queries.items import ItemRegistry
+from repro.service import protocol
+from repro.service.client import ServiceClient
+from repro.service.protocol import MessageType
+from repro.service.server import build_scenario_server
+from repro.workloads import WorkloadConfig, generate_template_bank
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _server(bank_index="shared"):
+    return build_scenario_server(query_count=4, item_count=20,
+                                 source_count=2, trace_length=41, seed=1,
+                                 bank_index=bank_index)
+
+
+def _dynamic_bank(core, count, distinct, prefix="dyn", seed=2):
+    """Single-pair dynamic queries over the server's cached items (small
+    structures keep the per-query GP solve cheap at N=1000)."""
+    names = sorted(core.cache)
+    registry = ItemRegistry.from_names(names)
+    values = {name: core.cache[name] for name in names}
+    cfg = WorkloadConfig(pairs_per_query=(1, 1))
+    return generate_template_bank(registry, values, count, distinct,
+                                  config=cfg, seed=seed, name_prefix=prefix)
+
+
+async def _settled(server, predicate, timeout=5.0):
+    deadline = asyncio.get_event_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_event_loop().time() > deadline:
+            return False
+        await asyncio.sleep(0.01)
+    return True
+
+
+class TestBoundedWork:
+    def test_thousand_definitions_without_bank_rebuild(self):
+        server, scenario, item_to_source = _server()
+
+        async def body():
+            bank = _dynamic_bank(server.core, count=1000, distinct=10)
+            client = ServiceClient(server.connect_loopback())
+            snapshot = await client.subscribe(definitions=bank)
+            # Every definition is live and served in the snapshot.
+            assert len(snapshot) == 4 + 1000
+            # The headline: not one O(bank) recompile happened.
+            assert server.core.bank_rebuilds == 0
+            stats = server.server_stats()["bank_index"]
+            assert stats["rebuilds"] == 0
+            assert stats["appends"] == 4 + 1000
+            assert stats["dynamic_queries"] == 1000
+            # 4 initial structures + 10 dynamic ones, not 1004.
+            assert stats["distinct_structures"] <= 14
+            assert stats["dedup_ratio"] > 50.0
+            await client.close()
+            await server.close()
+
+        run(body())
+
+    def test_flat_mode_pays_one_rebuild_per_definition(self):
+        server, scenario, item_to_source = _server(bank_index="flat")
+
+        async def body():
+            bank = _dynamic_bank(server.core, count=3, distinct=3)
+            client = ServiceClient(server.connect_loopback())
+            await client.subscribe(definitions=bank)
+            assert server.core.bank_rebuilds == 3
+            assert "bank_index" not in server.server_stats()
+            await client.close()
+            await server.close()
+
+        run(body())
+
+
+class TestRegistrationSemantics:
+    def test_duplicate_registration_is_refcounted(self):
+        server, scenario, item_to_source = _server()
+
+        async def body():
+            (query,) = _dynamic_bank(server.core, count=1, distinct=1)
+            first = ServiceClient(server.connect_loopback())
+            await first.subscribe(definitions=[query])
+            second = ServiceClient(server.connect_loopback())
+            await second.subscribe(definitions=[query])
+            assert server._dynamic_refs[query.name] == 2
+            appends = server.server_stats()["bank_index"]["appends"]
+            assert appends == 4 + 1            # second sub did not re-add
+            await first.close()
+            assert await _settled(
+                server, lambda: server._dynamic_refs.get(query.name) == 1)
+            assert query.name in server.core.query_names
+            await second.close()
+            assert await _settled(
+                server, lambda: query.name not in server.core.query_names)
+            assert query.name not in server._dynamic_refs
+            assert server.server_stats()["bank_index"]["removals"] == 1
+            await server.close()
+
+        run(body())
+
+    def test_conflicting_definition_rejected_without_partial_effect(self):
+        server, scenario, item_to_source = _server()
+
+        async def body():
+            taken = server.core.queries[0].name
+            items = sorted(server.core.cache)[:2]
+            conflict = PolynomialQuery(
+                [QueryTerm.product(1.0, items[0], items[1])],
+                qab=1.0, name=taken)
+            (fresh,) = _dynamic_bank(server.core, count=1, distinct=1,
+                                     prefix="fresh")
+            stream = server.connect_loopback()
+            await stream.send(protocol.query_sub([], [fresh, conflict]))
+            reply = await asyncio.wait_for(stream.receive(), timeout=5)
+            assert reply["type"] == MessageType.ERROR.value
+            assert "different definition" in reply["reason"]
+            # Validate-all-first: the valid definition before the bad one
+            # must not have been registered.
+            assert fresh.name not in server.core.query_names
+            assert server.core.bank_rebuilds == 0
+            await server.close()
+
+        run(body())
+
+    def test_unknown_item_rejected(self):
+        server, scenario, item_to_source = _server()
+
+        async def body():
+            ghost = PolynomialQuery(
+                [QueryTerm.product(1.0, "nope", "nada")],
+                qab=1.0, name="ghost")
+            stream = server.connect_loopback()
+            await stream.send(protocol.query_sub([], [ghost]))
+            reply = await asyncio.wait_for(stream.receive(), timeout=5)
+            assert reply["type"] == MessageType.ERROR.value
+            assert "unknown items" in reply["reason"]
+            assert "ghost" not in server.core.query_names
+            await server.close()
+
+        run(body())
+
+    def test_reregistering_static_query_is_not_dynamic(self):
+        server, scenario, item_to_source = _server()
+
+        async def body():
+            static = server.core.queries[0]
+            client = ServiceClient(server.connect_loopback())
+            await client.subscribe(definitions=[static])
+            # Identical redefinition of a static query is accepted but
+            # takes no reference: closing cannot remove a static query.
+            assert static.name not in server._dynamic_refs
+            await client.close()
+            await asyncio.sleep(0.05)
+            assert static.name in server.core.query_names
+            await server.close()
+
+        run(body())
+
+
+class TestImplicitSubscription:
+    def test_defined_queries_are_notified(self):
+        server, scenario, item_to_source = _server()
+
+        async def body():
+            owned = sorted(n for n, s in item_to_source.items() if s == 0)
+            query = PolynomialQuery(
+                [QueryTerm.product(3.0, owned[0], owned[1])],
+                qab=1e-6, name="mine")
+            source = server.connect_loopback()
+            await source.send(protocol.register_source(0, owned))
+            reply = await source.receive()
+            assert reply["type"] == MessageType.DAB_UPDATE.value
+
+            client = ServiceClient(server.connect_loopback())
+            snapshot = await client.subscribe(queries=[], definitions=[query])
+            assert "mine" in snapshot
+
+            old = server.core.cache[owned[0]]
+            await source.send(protocol.refresh(0, owned[0], old * 10.0,
+                                               seq=1))
+            assert await _settled(server,
+                                  lambda: "mine" in client.values
+                                  and client.values["mine"] != snapshot["mine"])
+            # queries=[] plus one definition: nothing else is delivered.
+            assert set(client.values) == {"mine"}
+            await client.close()
+            await server.close()
+
+        run(body())
