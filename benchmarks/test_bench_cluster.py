@@ -1,0 +1,214 @@
+"""Sharded-cluster throughput, cross-shard overhead, and failover latency.
+
+Runs the ``repro cluster loadgen`` flow fully in process — real protocol
+bytes through the loopback transport, the same
+:class:`~repro.service.cluster.router.ClusterCoordinator` the TCP path
+uses — and records, in ``benchmarks/results/BENCH_cluster.json``:
+
+* ``points``: per-shard-count loadgen reports (ticks/sec, per-shard
+  recompute counts, per-shard tick cost);
+* ``cross_shard_overhead``: seconds-per-tick of each sharded run
+  relative to the ``shards=1`` baseline — the price of the ``B/k``
+  split, partial exchange and recombination;
+* ``broker_notify``: notify-latency percentiles with subscribers
+  attached through the fan-out broker tier;
+* ``failover``: one journal-backed kill/restore cycle — recovery wall
+  time, records replayed, and a post-restore full-budget audit.
+
+Every loadgen run must finish with **zero QAB violations** and the
+post-failover audit must pass; either failing fails the bench.
+
+``REPRO_BENCH_CLUSTER=smoke`` (the CI job) runs reduced points and
+leaves the committed full-scale entries untouched.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time as _time
+
+from repro.service import protocol
+from repro.service.client import ServiceClient
+from repro.service.cluster.loadgen import run_cluster_loadgen
+from repro.service.cluster.router import build_scenario_cluster
+from repro.service.cluster.supervisor import ShardSupervisor
+
+RESULT_NAME = "BENCH_cluster.json"
+
+POINTS = {
+    "smoke": dict(sources=4, queries=20, items=24, duration=15,
+                  subscribers=2),
+    "full": dict(sources=8, queries=100, items=40, duration=30,
+                 subscribers=4),
+}
+
+MODE = os.environ.get("REPRO_BENCH_CLUSTER", "full")
+POINT = POINTS["smoke"] if MODE == "smoke" else POINTS["full"]
+SHARD_COUNTS = (1, 2) if MODE == "smoke" else (1, 2, 4)
+FAILOVER_STEPS = 12 if MODE == "smoke" else 30
+
+
+def _load(path):
+    return json.loads(path.read_text()) if path.exists() else {}
+
+
+def _store(path, existing):
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+
+
+def _trimmed(report):
+    """The report minus the bulky nested stats blobs."""
+    keep = ("shards", "active_shards", "cross_shard_queries",
+            "mirrored_items", "brokers", "sources", "subscribers",
+            "queries", "items", "duration_steps", "elapsed_seconds",
+            "ticks", "ticks_per_second", "refreshes_sent",
+            "refreshes_filtered", "notifies_received",
+            "notify_latency_seconds", "latency_samples", "qab_violations")
+    return {key: report[key] for key in keep}
+
+
+def _per_shard_costs(report):
+    """Per-shard recompute/refresh counts plus amortised tick cost."""
+    cluster_stats = report["server_stats"]
+    if isinstance(cluster_stats.get("cluster"), dict):
+        cluster_stats = cluster_stats["cluster"]   # broker runs nest them
+    shards = cluster_stats.get("shards", {})
+    ticks = max(report["ticks"], 1)
+    out = {}
+    for sid, stats in sorted(shards.items()):
+        out[sid] = {
+            "recomputations": stats.get("recomputations", 0),
+            "refreshes_received": stats.get("refreshes_received", 0),
+            "seconds_per_tick": report["elapsed_seconds"] / ticks,
+        }
+    return out
+
+
+def test_bench_cluster_points(results_dir):
+    path = results_dir / RESULT_NAME
+    existing = _load(path)
+    points = existing.get("points", {})
+    baseline_spt = None
+    overhead = existing.get("cross_shard_overhead", {})
+    for shards in SHARD_COUNTS:
+        report = run_cluster_loadgen(shards=shards, seed=0, **POINT)
+        assert report["qab_violations"] == 0, report["qab_violation_detail"]
+        assert report["ticks"] > 0 and report["refreshes_sent"] > 0
+        if shards > 1:
+            assert report["cross_shard_queries"] > 0
+        entry = _trimmed(report)
+        entry["per_shard"] = _per_shard_costs(report)
+        points[f"shards_{shards}"] = entry
+        seconds_per_tick = (report["elapsed_seconds"] /
+                            max(report["ticks"], 1))
+        if shards == 1:
+            baseline_spt = seconds_per_tick
+        elif baseline_spt:
+            overhead[f"shards_{shards}_vs_1"] = {
+                "seconds_per_tick": seconds_per_tick,
+                "baseline_seconds_per_tick": baseline_spt,
+                "overhead_ratio": seconds_per_tick / baseline_spt,
+            }
+    existing["points"] = points
+    existing["cross_shard_overhead"] = overhead
+    _store(path, existing)
+    summary = ", ".join(
+        f"{name}: {points[name]['ticks_per_second']:.0f} ticks/s"
+        for name in sorted(points))
+    print(f"\ncluster bench ({MODE}): {summary} -> {path}")
+
+
+def test_bench_cluster_broker_notify(results_dir):
+    """Notify percentiles with the fan-out tier interposed."""
+    path = results_dir / RESULT_NAME
+    existing = _load(path)
+    report = run_cluster_loadgen(shards=2, brokers=2, seed=0, **POINT)
+    assert report["qab_violations"] == 0, report["qab_violation_detail"]
+    existing["broker_notify"] = {
+        "brokers": report["brokers"],
+        "subscribers": report["subscribers"],
+        "notifies_received": report["notifies_received"],
+        "latency_samples": report["latency_samples"],
+        "percentiles_seconds": report["notify_latency_seconds"],
+        "broker_stats": report["broker_stats"],
+    }
+    _store(path, existing)
+    pcts = report["notify_latency_seconds"]
+    rendered = ", ".join(f"{k}={v * 1e3:.2f}ms"
+                        for k, v in sorted(pcts.items())) or "no samples"
+    print(f"\nbroker notify ({MODE}): {rendered} -> {path}")
+
+
+def test_bench_cluster_failover(results_dir, tmp_path):
+    """One journal-backed kill/restore cycle under live refreshes."""
+    path = results_dir / RESULT_NAME
+    existing = _load(path)
+    cluster, scenario, item_to_source = build_scenario_cluster(
+        shards=2, query_count=POINT["queries"], item_count=POINT["items"],
+        source_count=POINT["sources"], trace_length=2 * FAILOVER_STEPS + 4,
+        seed=0, journal_dir=str(tmp_path / "wal"))
+    supervisor = ShardSupervisor(cluster)
+
+    async def body():
+        await cluster.start()
+        streams = {}
+        for source_id in sorted(set(item_to_source.values())):
+            owned = sorted(n for n, s in item_to_source.items()
+                           if s == source_id)
+            stream = cluster.connect_loopback()
+            await stream.send(protocol.register_source(source_id, owned))
+            await stream.receive()
+            streams[source_id] = stream
+        seq = {}
+
+        async def push(steps):
+            for step in steps:
+                for item in sorted(item_to_source):
+                    seq[item] = seq.get(item, 0) + 1
+                    await streams[item_to_source[item]].send(protocol.refresh(
+                        item_to_source[item], item,
+                        scenario.traces[item].at(step), seq[item]))
+                for _ in range(8):
+                    await asyncio.sleep(0)
+
+        await push(range(1, FAILOVER_STEPS + 1))
+        victim = cluster.decomposition.active_shards[0]
+        started = _time.perf_counter()
+        record = await supervisor.kill_and_restore(victim)
+        failover_wall = _time.perf_counter() - started
+        last = 2 * FAILOVER_STEPS + 1
+        await push(range(FAILOVER_STEPS + 1, last))
+
+        client = ServiceClient(cluster.connect_loopback())
+        served = await client.subscribe("*")
+        truth_inputs = {item: scenario.traces[item].at(last - 1)
+                        for item in item_to_source}
+        audit_passed = all(
+            abs(served[q.name] - q.evaluate(truth_inputs))
+            <= q.qab * (1.0 + 1e-9) + 1e-12
+            for q in scenario.queries)
+        await client.close()
+        for stream in streams.values():
+            stream.close()
+        await cluster.close()
+        return record, failover_wall, audit_passed
+
+    record, failover_wall, audit_passed = asyncio.run(body())
+    assert audit_passed
+    assert record["records_replayed"] > 0
+    existing["failover"] = {
+        "shards": 2,
+        "killed_shard": record["shard"],
+        "recovery_seconds": record["recovery_seconds"],
+        "failover_seconds": record["failover_seconds"],
+        "failover_wall_seconds": failover_wall,
+        "records_replayed": record["records_replayed"],
+        "snapshot_loaded": record["snapshot_loaded"],
+        "audit_passed": audit_passed,
+    }
+    _store(path, existing)
+    print(f"\nfailover ({MODE}): shard {record['shard']} restored in "
+          f"{record['recovery_seconds'] * 1e3:.1f}ms "
+          f"({record['records_replayed']} records) -> {path}")

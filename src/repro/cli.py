@@ -374,10 +374,21 @@ def cmd_journal(args: argparse.Namespace) -> int:
           f"{summary['records']} records"
           + (f" ({summary['torn_tail_bytes']} torn-tail bytes pending "
              f"truncation)" if summary["torn_tail_bytes"] else ""))
-    if summary["records_by_type"]:
-        rendered = ", ".join(f"{kind}={count}" for kind, count
-                             in summary["records_by_type"].items())
-        print(f"records by type      {rendered}")
+    counts = dict(summary["records_by_type"])
+    if counts:
+        # Canonical kinds first (shown even at zero, so the table shape
+        # is stable across journals), then anything else the scan found.
+        known = ("refresh", "plan", "aao", "bounds", "qadd", "qdel")
+        kinds = list(known) + sorted(set(counts) - set(known))
+        width = max(len(kind) for kind in kinds)
+        total = sum(counts.values())
+        print("records by type")
+        print(f"  {'kind':<{width}s} {'count':>8s} {'share':>7s}")
+        for kind in kinds:
+            count = counts.get(kind, 0)
+            share = count / total if total else 0.0
+            print(f"  {kind:<{width}s} {count:>8d} {share:>6.1%}")
+        print(f"  {'total':<{width}s} {total:>8d}")
     for snap in summary["snapshots"]:
         print(f"snapshot             {snap['file']} "
               f"(covers records 0..{snap['record_index']}, "
@@ -493,6 +504,85 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return 1 if report["qab_violations"] else 0
 
 
+def cmd_cluster_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.cluster.router import build_scenario_cluster
+
+    cluster, scenario, item_to_source = build_scenario_cluster(
+        shards=args.shards, query_count=args.queries, item_count=args.items,
+        source_count=args.sources, trace_length=args.trace_length,
+        seed=args.seed, algorithm=args.algorithm, recompute_cost=args.mu,
+        workload=args.workload, recompute_mode=args.recompute_mode,
+        bank_index=args.bank_index,
+        journal_dir=args.journal or None,
+        snapshot_every=args.snapshot_every, fsync=args.fsync,
+    )
+    decomposition = cluster.decomposition
+
+    async def _serve() -> None:
+        host, port = await cluster.serve_tcp(args.host, args.port)
+        print(f"cluster router listening on {host}:{port} "
+              f"({args.shards} shards, active "
+              f"{list(decomposition.active_shards)}, "
+              f"{len(scenario.queries)} queries "
+              f"[{len(decomposition.cross_shard)} cross-shard], "
+              f"{len(item_to_source)} items, {args.sources} sources, "
+              f"algorithm={args.algorithm})", flush=True)
+        try:
+            await asyncio.Event().wait()     # serve until interrupted
+        finally:
+            await cluster.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        stats = cluster.server_stats()
+        print(f"\nshutting down: {stats['refreshes_routed']} refreshes "
+              f"routed, {stats['partial_notifies']} partials recombined, "
+              f"{stats['notifies_sent']} notifies")
+    return 0
+
+
+def cmd_cluster_loadgen(args: argparse.Namespace) -> int:
+    from repro.service.cluster.loadgen import run_cluster_loadgen
+
+    report = run_cluster_loadgen(
+        shards=args.shards, sources=args.sources, queries=args.queries,
+        items=args.items, duration=args.duration,
+        subscribers=args.subscribers, brokers=args.brokers,
+        tick_interval=args.tick_interval, seed=args.seed,
+        algorithm=args.algorithm, workload=args.workload,
+        journal_dir=args.journal or None, output=args.output or None,
+        trace_length=args.trace_length,
+    )
+    print(f"shards               {report['shards']} "
+          f"(active {report['active_shards']})")
+    print(f"cross-shard queries  {report['cross_shard_queries']} "
+          f"({report['mirrored_items']} mirrored items)")
+    if report["brokers"]:
+        broker = report["broker_stats"] or {}
+        print(f"broker tier          {report['brokers']} brokers, "
+              f"{broker.get('notifies_sent', 0)} notifies fanned out")
+    print(f"sources x subs       {report['sources']} x {report['subscribers']}")
+    print(f"queries / items      {report['queries']} / {report['items']}")
+    print(f"ticks                {report['ticks']} "
+          f"({report['ticks_per_second']:.0f}/s)")
+    print(f"refreshes sent       {report['refreshes_sent']} "
+          f"(filtered {report['refreshes_filtered']})")
+    print(f"notifies received    {report['notifies_received']}")
+    latency = report["notify_latency_seconds"]
+    if latency:
+        rendered = ", ".join(f"{k}={v * 1000:.2f}ms"
+                             for k, v in sorted(latency.items()))
+        print(f"notify latency       {rendered} "
+              f"({report['latency_samples']} samples)")
+    print(f"QAB violations       {report['qab_violations']}")
+    if report.get("output"):
+        print(f"report written to    {report['output']}")
+    return 1 if report["qab_violations"] else 0
+
+
 def cmd_chaos_soak(args: argparse.Namespace) -> int:
     from repro.service.soak import run_chaos_soak
 
@@ -511,9 +601,14 @@ def cmd_chaos_soak(args: argparse.Namespace) -> int:
         output=args.output or None,
         journal_dir=args.journal or None, kill_steps=kill_steps,
         snapshot_every=args.snapshot_every, fsync=args.fsync,
+        shards=args.shards,
     )
     print(f"schedule             {report['schedule']} "
           f"({', '.join(report['fault_kinds'])})")
+    if report.get("shards"):
+        print(f"shards               {report['shards']} "
+              f"(active {report['active_shards']}, "
+              f"{report['cross_shard_queries']} cross-shard queries)")
     print(f"steps                {report['steps']} "
           f"(+{report['tail_steps']} recovery)")
     print(f"fault events         {report['fault_events']} "
@@ -777,14 +872,71 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the JSON report here ('' to skip)")
     loadgen.set_defaults(func=cmd_loadgen)
 
+    cluster = sub.add_parser("cluster",
+                             help="sharded coordinator cluster: shard "
+                                  "router + fan-out broker tier")
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    cluster_serve = cluster_sub.add_parser(
+        "serve", help="run an N-shard coordinator cluster behind one "
+                      "TCP shard router")
+    _scenario_flags(cluster_serve)
+    cluster_serve.add_argument("--shards", type=int, default=2,
+                               help="coordinator shard count (items "
+                                    "partition by stable hash; queries "
+                                    "decompose across their home shards "
+                                    "under B/k sub-budgets)")
+    cluster_serve.add_argument("--host", default="127.0.0.1")
+    cluster_serve.add_argument("--port", type=int,
+                               default=DEFAULT_SERVICE_PORT)
+    cluster_serve.add_argument("--mu", type=float, default=5.0,
+                               help="recomputation cost in messages")
+    cluster_serve.add_argument("--recompute-mode",
+                               choices=["full", "delta"], default="full")
+    cluster_serve.add_argument("--bank-index", choices=["flat", "shared"],
+                               default="flat")
+    cluster_serve.add_argument("--journal", default=None, metavar="DIR",
+                               help="journal every shard under "
+                                    "DIR/shard-<i> (enables shard "
+                                    "failover)")
+    cluster_serve.add_argument("--snapshot-every", type=int, default=500)
+    cluster_serve.add_argument("--fsync",
+                               choices=["always", "interval", "off"],
+                               default="always")
+    cluster_serve.set_defaults(func=cmd_cluster_serve)
+
+    cluster_loadgen = cluster_sub.add_parser(
+        "loadgen", help="drive an in-process shard cluster and audit "
+                        "recombined values against full-budget QAB")
+    _scenario_flags(cluster_loadgen)
+    cluster_loadgen.add_argument("--shards", type=int, default=2)
+    cluster_loadgen.add_argument("--duration", type=int, default=30,
+                                 help="trace steps each source replays")
+    cluster_loadgen.add_argument("--subscribers", type=int, default=4)
+    cluster_loadgen.add_argument("--brokers", type=int, default=0,
+                                 help="attach subscribers through an "
+                                      "N-broker fan-out tier instead of "
+                                      "directly to the router")
+    cluster_loadgen.add_argument("--tick-interval", type=float, default=0.0)
+    cluster_loadgen.add_argument("--journal", default=None, metavar="DIR")
+    cluster_loadgen.add_argument("--output", default="",
+                                 help="write the JSON report here "
+                                      "('' to skip)")
+    cluster_loadgen.set_defaults(func=cmd_cluster_loadgen)
+
     soak = sub.add_parser("chaos-soak",
                           help="soak the live service under injected "
                                "wire faults and audit QAB compliance")
     soak.add_argument("--schedule", default="ci",
-                      choices=["smoke", "ci", "heavy", "restart"],
+                      choices=["smoke", "ci", "heavy", "restart", "shards"],
                       help="named fault schedule (loss + partition + "
                            "agent crash, increasing intensity; 'restart' "
-                           "adds coordinator kill/restore)")
+                           "adds coordinator kill/restore; 'shards' aims "
+                           "the kills at cluster shards)")
+    soak.add_argument("--shards", type=int, default=1,
+                      help="run the soak against an N-shard cluster behind "
+                           "the shard router (kills then fail over one "
+                           "shard at a time)")
     soak.add_argument("--steps", type=int, default=None,
                       help="trace steps to soak (default: the schedule's "
                            "budget)")

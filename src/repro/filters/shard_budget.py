@@ -1,0 +1,202 @@
+"""Cross-shard accuracy-budget decomposition (AAO at the shard boundary).
+
+A cluster of coordinator shards partitions the item space, but a query
+``P : B`` may reference items owned by several shards.  This module
+splits such a query into per-shard *sub-queries* the same way the
+paper's Half-and-Half heuristic splits ``P = P1 - P2`` into
+``P1 : B/2`` and ``P2 : B/2`` (Section III-B.1): group the terms of
+``P`` by a *home shard* and give each of the ``k`` home shards the
+sub-polynomial of its terms under the budget ``B/k``.  For the common
+two-shard span this is exactly the paper's ``B/2`` split applied at the
+shard boundary instead of at the sign boundary.
+
+Soundness is the same triangle-inequality argument as Claim 1: each
+shard runs the full AAO machinery on its sub-query, so the served
+partial ``v_s`` satisfies ``|v_s - P_s(x)| <= B/k``, and the aggregator
+serves ``sum_s v_s`` with
+
+    ``|sum_s v_s - P(x)| <= sum_s |v_s - P_s(x)| <= k * (B/k) = B``.
+
+A term's home shard is the owner of its lexicographically-first
+variable — deterministic, independent of process, and guaranteed to
+keep a query on ONE shard whenever all its items co-hash (the
+single-shard case then reuses the original query object verbatim, with
+its full budget ``B``, so an N=1 cluster is bit-identical to the
+single-coordinator path).
+
+A term may still *reference* items owned by other shards (``x*y`` homed
+where ``x`` lives but reading ``y``): those foreign items are
+*mirrored* — the router forwards their refreshes to every shard whose
+sub-queries read them, and each such shard runs its own DAB filtering
+on the mirror.  The decomposition reports the mirror set per shard so
+the router can build its forwarding table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from repro.exceptions import SimulationError
+from repro.queries.polynomial import PolynomialQuery
+from repro.queries.terms import QueryTerm
+
+ShardOf = Callable[[str], int]
+
+
+def term_home_shard(term: QueryTerm, shard_of: ShardOf) -> int:
+    """The shard a term is evaluated on: owner of its first variable."""
+    return shard_of(min(term.variables))
+
+
+@dataclass(frozen=True)
+class QueryDecomposition:
+    """One query's split into per-shard sub-queries under ``B/k`` budgets."""
+
+    query: PolynomialQuery
+    #: home shard -> sub-query (same name as the original; qab = B/k).
+    sub_queries: Dict[int, PolynomialQuery]
+    #: shard -> items the sub-query reads but the shard does not own.
+    mirrored: Dict[int, Tuple[str, ...]]
+
+    @property
+    def home_shards(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.sub_queries))
+
+    @property
+    def is_cross_shard(self) -> bool:
+        return len(self.sub_queries) > 1
+
+    def sub_qab(self, shard: int) -> float:
+        return self.sub_queries[shard].qab
+
+
+def decompose_query(query: PolynomialQuery, shard_of: ShardOf) -> QueryDecomposition:
+    """Split *query* across its home shards with ``B/k`` sub-budgets."""
+    by_home: Dict[int, List[QueryTerm]] = {}
+    for term in query.terms:
+        by_home.setdefault(term_home_shard(term, shard_of), []).append(term)
+
+    spans = len(by_home)
+    if spans == 1:
+        # Single home shard: keep the original query object (same budget
+        # B, same term tuple) so the N=1 / co-hashing cases stay
+        # bit-identical to the single-coordinator path.
+        home = next(iter(by_home))
+        sub_queries = {home: query}
+    else:
+        sub_qab = query.qab / spans
+        sub_queries = {
+            home: query.sub_query(terms, sub_qab, name=query.name)
+            for home, terms in by_home.items()
+        }
+
+    mirrored = {}
+    for home, sub in sub_queries.items():
+        foreign = tuple(
+            item for item in sub.variables if shard_of(item) != home
+        )
+        if foreign:
+            mirrored[home] = foreign
+    return QueryDecomposition(query=query, sub_queries=sub_queries,
+                              mirrored=mirrored)
+
+
+@dataclass(frozen=True)
+class BankDecomposition:
+    """A whole query bank's shard assignment.
+
+    ``sub_queries_for[s]`` is the bank shard ``s`` runs (original query
+    names are reused — each shard has its own namespace, and the shared
+    name is what lets the aggregator recombine partials per query).
+    ``items_needed[s]`` is every item shard ``s`` must receive refreshes
+    for — owned or mirrored; shards absent from the mapping host no
+    sub-query and are never built (a coordinator core needs at least
+    one query).
+    """
+
+    decompositions: Dict[str, QueryDecomposition]
+    sub_queries_for: Dict[int, Tuple[PolynomialQuery, ...]]
+    items_needed: Dict[int, Tuple[str, ...]]
+
+    @property
+    def active_shards(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.sub_queries_for))
+
+    @property
+    def cross_shard(self) -> Tuple[str, ...]:
+        return tuple(sorted(
+            name for name, dec in self.decompositions.items()
+            if dec.is_cross_shard
+        ))
+
+    @property
+    def mirrored_items(self) -> Dict[int, Tuple[str, ...]]:
+        """shard -> sorted foreign items mirrored to it (union over queries)."""
+        merged: Dict[int, set] = {}
+        for dec in self.decompositions.values():
+            for shard, items in dec.mirrored.items():
+                merged.setdefault(shard, set()).update(items)
+        return {shard: tuple(sorted(items)) for shard, items in sorted(merged.items())}
+
+    def home_shards(self, name: str) -> Tuple[int, ...]:
+        return self.decompositions[name].home_shards
+
+    def sub_qab(self, name: str, shard: int) -> float:
+        return self.decompositions[name].sub_qab(shard)
+
+    def shards_of_item(self, item: str) -> Tuple[int, ...]:
+        """Every shard whose bank reads *item* (owner and mirrors)."""
+        return tuple(sorted(
+            shard for shard, items in self.items_needed.items()
+            if item in self._needed_sets[shard]
+        ))
+
+    @property
+    def _needed_sets(self) -> Dict[int, frozenset]:
+        cache = getattr(self, "__needed_sets", None)
+        if cache is None:
+            cache = {shard: frozenset(items)
+                     for shard, items in self.items_needed.items()}
+            object.__setattr__(self, "__needed_sets", cache)
+        return cache
+
+
+def decompose_bank(queries: Sequence[PolynomialQuery],
+                   shard_of: ShardOf) -> BankDecomposition:
+    """Decompose every query of a bank; queries must have unique names."""
+    decompositions: Dict[str, QueryDecomposition] = {}
+    per_shard: Dict[int, List[PolynomialQuery]] = {}
+    needed: Dict[int, set] = {}
+    for query in queries:
+        if query.name in decompositions:
+            raise SimulationError(
+                f"duplicate query name {query.name!r}: cluster recombination "
+                "is keyed on query names"
+            )
+        dec = decompose_query(query, shard_of)
+        decompositions[query.name] = dec
+        for shard, sub in dec.sub_queries.items():
+            per_shard.setdefault(shard, []).append(sub)
+            needed.setdefault(shard, set()).update(sub.variables)
+    return BankDecomposition(
+        decompositions=decompositions,
+        sub_queries_for={shard: tuple(bank)
+                         for shard, bank in sorted(per_shard.items())},
+        items_needed={shard: tuple(sorted(items))
+                      for shard, items in sorted(needed.items())},
+    )
+
+
+def recombine(partials: Mapping[int, float]) -> float:
+    """Sum per-shard partials in sorted shard order (deterministic fp).
+
+    A single-entry mapping returns the partial verbatim — the
+    single-home-shard case must pass the shard's served value through
+    bit-identically.
+    """
+    if not partials:
+        raise SimulationError("cannot recombine an empty partial set")
+    if len(partials) == 1:
+        return float(next(iter(partials.values())))
+    return float(sum(partials[shard] for shard in sorted(partials)))

@@ -28,7 +28,13 @@ The discrete-event simulator proves the planning algorithms; this package
   backoff and the :class:`~repro.service.resilience.CircuitBreaker` guarding
   the solver;
 * :mod:`repro.service.soak` — the chaos soak harness behind
-  ``repro chaos-soak``, auditing end-to-end QAB correctness under faults.
+  ``repro chaos-soak``, auditing end-to-end QAB correctness under faults;
+* :mod:`repro.service.cluster` — the sharded coordinator cluster: stable
+  item hashing, the cross-shard B/k budget decomposition, the
+  :class:`~repro.service.cluster.router.ClusterCoordinator` shard
+  router, the NOTIFY fan-out broker tier and journal-backed shard
+  failover (``repro cluster serve``/``loadgen``,
+  ``repro chaos-soak --shards N``).
 
 Only ``core`` and ``protocol`` are imported eagerly: the simulator imports
 :class:`CoordinatorCore` from here, and the asyncio modules import the
@@ -74,6 +80,11 @@ __all__ = [
     "BreakerState",
     "retry_async",
     "run_chaos_soak",
+    "ClusterCoordinator",
+    "build_scenario_cluster",
+    "run_cluster_loadgen",
+    "ShardMap",
+    "stable_shard",
 ]
 
 _LAZY = {
@@ -93,6 +104,14 @@ _LAZY = {
     "BreakerState": ("repro.service.resilience", "BreakerState"),
     "retry_async": ("repro.service.resilience", "retry_async"),
     "run_chaos_soak": ("repro.service.soak", "run_chaos_soak"),
+    "ClusterCoordinator": ("repro.service.cluster.router",
+                           "ClusterCoordinator"),
+    "build_scenario_cluster": ("repro.service.cluster.router",
+                               "build_scenario_cluster"),
+    "run_cluster_loadgen": ("repro.service.cluster.loadgen",
+                            "run_cluster_loadgen"),
+    "ShardMap": ("repro.service.cluster.routing", "ShardMap"),
+    "stable_shard": ("repro.service.cluster.routing", "stable_shard"),
 }
 
 

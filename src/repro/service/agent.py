@@ -376,10 +376,25 @@ class SourceAgent:
     async def run(self, host: str, port: int, traces: "Any",
                   tick_interval: float = 0.0,
                   max_steps: Optional[int] = None,
-                  retry_policy: Optional[RetryPolicy] = None) -> int:
-        """Connect over TCP, replay, and close — the ``repro agent`` body."""
+                  retry_policy: Optional[RetryPolicy] = None,
+                  resolve: Optional[Callable[[], Any]] = None) -> int:
+        """Connect over TCP, replay, and close — the ``repro agent`` body.
+
+        ``resolve``, if given, is called before *every* dial (initial and
+        reconnect) and must return the current ``(host, port)`` target —
+        it may be async.  Without it the original address is pinned,
+        which is wrong the moment a supervisor restores a dead
+        coordinator shard on a new port: the old behaviour had every
+        reconnect attempt dial the corpse's address forever.
+        """
         async def _dial() -> MessageStream:
-            return await open_tcp_stream(host, port)
+            target_host, target_port = host, port
+            if resolve is not None:
+                target = resolve()
+                if asyncio.iscoroutine(target):
+                    target = await target
+                target_host, target_port = target
+            return await open_tcp_stream(target_host, target_port)
 
         await self.connect(await _dial())
         try:

@@ -1,0 +1,177 @@
+"""Cluster load generator: sources × subscribers against a shard cluster.
+
+Same audit discipline as :mod:`repro.service.loadgen`, pointed at a
+:class:`~repro.service.cluster.router.ClusterCoordinator` instead of a
+single server: agents register with the *router* (they are oblivious to
+sharding), replay ``duration`` trace steps through their DAB filters,
+and the final recombined values are audited against ground truth at the
+full per-query budget ``B`` — the end-to-end check of the cross-shard
+``B/k`` decomposition's triangle-inequality soundness.
+
+With ``brokers > 0`` the subscribers (and the auditor) attach through a
+:class:`~repro.service.cluster.broker.BrokerTier` instead of directly to
+the router, exercising the fan-out tier under the same audit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time as _time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.service.agent import agents_for_scenario
+from repro.service.client import ServiceClient, latency_percentiles
+
+
+async def _run_async(
+    cluster: "Any",
+    scenario: "Any",
+    item_to_source: Dict[str, int],
+    subscriber_count: int,
+    duration: int,
+    tick_interval: float,
+    brokers: int,
+) -> Dict[str, Any]:
+    from repro.service.cluster.broker import BrokerTier
+
+    await cluster.start()
+
+    tier: Optional[BrokerTier] = None
+    if brokers > 0:
+        tier = BrokerTier(cluster.connect_loopback, brokers=brokers,
+                          clock=cluster.clock)
+        await tier.start()
+
+    def _subscriber_attach():
+        return tier.connect_loopback() if tier is not None \
+            else cluster.connect_loopback()
+
+    agents = agents_for_scenario(scenario, item_to_source,
+                                 timestamp_refreshes=True)
+    for agent in agents.values():
+        await agent.connect(cluster.connect_loopback())
+
+    subscribers = []
+    for _ in range(subscriber_count):
+        client = ServiceClient(_subscriber_attach())
+        await client.subscribe("*")
+        subscribers.append(client)
+
+    started = _time.perf_counter()
+    sent = await asyncio.gather(*[
+        agent.replay(scenario.traces, tick_interval=tick_interval,
+                     max_steps=duration)
+        for agent in agents.values()
+    ])
+    elapsed = _time.perf_counter() - started
+
+    # Let in-flight partials recombine and notifies drain.
+    await asyncio.sleep(0.05)
+
+    auditor = ServiceClient(_subscriber_attach())
+    served = await auditor.subscribe("*")
+    stats = auditor.stats_seen
+    if tier is not None:
+        # The broker serves its cached stats; the audit wants the
+        # router's live cluster stats too.
+        stats = {"broker": stats, "cluster": cluster.server_stats()}
+
+    truth = {}
+    for agent in agents.values():
+        truth.update(agent.values)
+    violations = []
+    for query in scenario.queries:
+        true_value = query.evaluate(truth)
+        error = abs(served[query.name] - true_value)
+        if error > query.qab * (1.0 + 1e-9) + 1e-12:
+            violations.append({"query": query.name, "error": error,
+                               "qab": query.qab})
+
+    latencies = [sample for client in subscribers
+                 for sample in client.latencies]
+    ticks = sum(agent.stats["ticks"] for agent in agents.values())
+    decomposition = cluster.decomposition
+    report = {
+        "shards": cluster.shard_map.shards,
+        "active_shards": list(decomposition.active_shards),
+        "cross_shard_queries": len(decomposition.cross_shard),
+        "mirrored_items": sum(len(items) for items
+                              in decomposition.mirrored_items.values()),
+        "brokers": brokers,
+        "sources": len(agents),
+        "subscribers": subscriber_count,
+        "queries": len(scenario.queries),
+        "items": len(item_to_source),
+        "duration_steps": duration,
+        "transport": "loopback",
+        "elapsed_seconds": elapsed,
+        "ticks": ticks,
+        "ticks_per_second": ticks / elapsed if elapsed > 0 else 0.0,
+        "refreshes_sent": sum(s for s in sent),
+        "refreshes_filtered": sum(agent.stats["refreshes_filtered"]
+                                  for agent in agents.values()),
+        "notifies_received": sum(client.notifies_received
+                                 for client in subscribers),
+        "notify_latency_seconds": latency_percentiles(latencies),
+        "latency_samples": len(latencies),
+        "server_stats": stats,
+        "broker_stats": tier.stats() if tier is not None else None,
+        "qab_violations": len(violations),
+        "qab_violation_detail": violations[:10],
+    }
+
+    await auditor.close()
+    for client in subscribers:
+        await client.close()
+    for agent in agents.values():
+        await agent.close()
+    if tier is not None:
+        await tier.close()
+    await cluster.close()
+    return report
+
+
+def run_cluster_loadgen(
+    shards: int = 2,
+    sources: int = 8,
+    queries: int = 100,
+    items: int = 40,
+    duration: int = 30,
+    subscribers: int = 4,
+    brokers: int = 0,
+    tick_interval: float = 0.0,
+    seed: int = 0,
+    algorithm: str = "dual_dab",
+    workload: str = "portfolio",
+    journal_dir: Optional[str] = None,
+    output: Optional[str] = None,
+    trace_length: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Build an in-process ``shards``-way cluster from the scenario recipe
+    and drive it with the standard loadgen audit; see the module
+    docstring.  Returns the report dict (written as JSON to ``output``
+    when given)."""
+    from repro.service.cluster.router import build_scenario_cluster
+
+    trace_length = max(trace_length or 0, duration + 2)
+    cluster, scenario, item_to_source = build_scenario_cluster(
+        shards=shards, query_count=queries, item_count=items,
+        source_count=sources, trace_length=trace_length, seed=seed,
+        algorithm=algorithm, workload=workload, journal_dir=journal_dir,
+    )
+    report = asyncio.run(_run_async(
+        cluster=cluster, scenario=scenario, item_to_source=item_to_source,
+        subscriber_count=subscribers, duration=duration,
+        tick_interval=tick_interval, brokers=brokers,
+    ))
+    report["seed"] = seed
+    report["algorithm"] = algorithm
+    report["workload"] = workload
+    if output:
+        path = Path(output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        report["output"] = str(path)
+    return report

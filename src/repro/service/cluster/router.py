@@ -1,0 +1,1088 @@
+"""The shard router: one cluster front-end over N coordinator shards.
+
+A :class:`ClusterCoordinator` is a pure protocol peer — it speaks the
+same framed wire protocol as :class:`CoordinatorServer` to the outside
+world (sources register, push REFRESH/HEARTBEAT; subscribers QUERY_SUB
+and receive NOTIFY/SNAPSHOT), and it speaks the same protocol *inward*
+to each shard over in-process loopback streams.  No shard knows it is
+clustered; no source or subscriber knows there is more than one
+coordinator.  The pieces:
+
+**Item routing.**  Items are partitioned by the stable CRC32 hash of
+:mod:`repro.service.cluster.routing`.  A query's terms are grouped by
+home shard (:mod:`repro.filters.shard_budget`) and each home shard runs
+the sub-query under the paper's ``B/k`` Half-and-Half budget.  An item
+referenced by a sub-query homed elsewhere is *mirrored*: the router
+forwards its refreshes to every shard whose bank reads it, so the
+forwarding table is ``items_needed`` (owner ∪ mirrors), not bare
+ownership.
+
+**Source impersonation.**  For every (shard, source) pair the router
+holds a loopback stream registered *as that source* for the items the
+shard needs.  Inbound REFRESH frames are fanned to the owning streams
+verbatim; HEARTBEATs go to every shard holding the source's items; the
+shards' DAB_UPDATE replies (bounds, probes) flow back through the same
+streams.
+
+**DAB min-merge.**  Each shard programs primary DABs for *its* view of
+an item.  The router takes the min bound across shards — the only
+window every shard's guarantee survives — and forwards it to the real
+source under its own per-item epoch counter, bumped only on material
+change (the core's 1e-9 relative tolerance).  Toward real sources the
+router runs the server's msg_id/ack retry loop; toward shards it acks
+instantly (loopback is lossless).
+
+**Partial recombination.**  One wildcard subscription per shard feeds a
+last-partial table ``{query: {shard: value}}``; a shard NOTIFY
+recombines its queries by summing home-shard partials in sorted shard
+order and fans the full values to downstream subscribers through the
+server's bounded-queue/slow-consumer-eviction machinery.  Soundness is
+the ``B/k`` triangle inequality; a query homed on a single shard passes
+that shard's value through bit-identically.  SNAPSHOT requests gather a
+*fresh* snapshot from every shard (error ≤ Σ B/k = B) rather than
+serving possibly-stale partials.
+
+**Degraded honesty.**  Shards keep their own staleness leases; the
+router forwards heartbeats and probe traffic, and merges per-shard
+degraded maps: a query is degraded iff any home shard flags it, with
+the honestly-widened total ``Σ_s (widened_s or B/k)`` over home shards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time as _time
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import ReproError
+from repro.filters.shard_budget import BankDecomposition, decompose_bank, recombine
+from repro.service import protocol
+from repro.service.cluster.routing import ShardMap
+from repro.service.core import _DAB_CHANGE_REL_TOL
+from repro.service.protocol import MessageType, ProtocolError
+from repro.service.resilience import RetryPolicy
+from repro.service.server import (
+    DEFAULT_NOTIFY_QUEUE_LIMIT,
+    TRUNK_QUEUE_LIMIT,
+    CoordinatorServer,
+    _Subscriber,
+)
+from repro.service.transports import MessageStream, TransportClosed, loopback_pair
+
+#: How long a snapshot gather waits per shard before falling back to the
+#: last known partials (a dead shard mid-failover must not hang audits).
+SNAPSHOT_GATHER_TIMEOUT = 5.0
+
+#: Floor for each shard's notify-queue limit toward its single
+#: subscriber, the router's aggregation trunk.  A burst that evicts an
+#: ordinary slow subscriber must *not* evict the trunk — that silently
+#: freezes the shard's partials — so the trunk rides a much deeper queue
+#: than user-facing subscribers and the router re-subscribes if it is
+#: ever cut anyway.  Same floor the servers grant ``trunk=True``
+#: subscriptions (brokers' upstreams) on the wire.
+SHARD_TRUNK_QUEUE_LIMIT = TRUNK_QUEUE_LIMIT
+
+
+class ClusterCoordinator:
+    """Route sources and subscribers across coordinator shards."""
+
+    def __init__(
+        self,
+        shards: Mapping[int, CoordinatorServer],
+        decomposition: BankDecomposition,
+        shard_map: ShardMap,
+        item_to_source: Mapping[str, int],
+        queries: Sequence[Any] = (),
+        clock: Callable[[], float] = _time.time,
+        notify_queue_limit: int = DEFAULT_NOTIFY_QUEUE_LIMIT,
+        writer_join_timeout: float = 1.0,
+        dab_retry_policy: Optional[RetryPolicy] = None,
+        make_shard: Optional[Callable[[int], CoordinatorServer]] = None,
+    ):
+        self.shards: Dict[int, CoordinatorServer] = dict(shards)
+        self.decomposition = decomposition
+        self.shard_map = shard_map
+        self.item_to_source = dict(item_to_source)
+        #: the original (pre-decomposition) query bank, for callers that
+        #: audit recombined values against it.
+        self.queries = list(queries)
+        self.clock = clock
+        self.notify_queue_limit = int(notify_queue_limit)
+        self.writer_join_timeout = float(writer_join_timeout)
+        self.dab_retry_policy = dab_retry_policy
+        #: rebuilds one shard server (same scenario, same journal path)
+        #: — the supervisor's failover hook.
+        self.make_shard = make_shard
+        self.started = False
+
+        self._home_shards: Dict[str, Tuple[int, ...]] = {
+            name: dec.home_shards
+            for name, dec in decomposition.decompositions.items()}
+        self._sub_qab: Dict[str, Dict[int, float]] = {
+            name: {sid: dec.sub_qab(sid) for sid in dec.home_shards}
+            for name, dec in decomposition.decompositions.items()}
+        item_shards: Dict[str, List[int]] = {}
+        for sid, items in decomposition.items_needed.items():
+            for item in items:
+                item_shards.setdefault(item, []).append(sid)
+        self._item_shards: Dict[str, Tuple[int, ...]] = {
+            item: tuple(sorted(sids)) for item, sids in item_shards.items()}
+
+        # upstream plumbing (router -> shards)
+        self._up_streams: Dict[Tuple[int, int], MessageStream] = {}
+        self._up_tasks: Dict[Tuple[int, int], asyncio.Task] = {}
+        self._sub_streams: Dict[int, MessageStream] = {}
+        self._sub_tasks: Dict[int, asyncio.Task] = {}
+        self._snapshot_waiters: Dict[int, List[asyncio.Future]] = {}
+
+        # DAB merge state
+        self._shard_bounds: Dict[str, Dict[int, float]] = {}
+        self._effective_bounds: Dict[str, float] = {}
+        self.epochs: Dict[str, int] = {}
+        #: per-item accepted-seq high-water marks observed at the router
+        #: (floors for restarted sources; the shards remain the dedup
+        #: authority).
+        self._seq_floors: Dict[str, int] = {}
+
+        # aggregation state
+        self._partials: Dict[str, Dict[int, float]] = {}
+        self._shard_degraded: Dict[int, Dict[str, float]] = {}
+        self._last_degraded_keys: frozenset = frozenset()
+
+        # downstream plumbing (real sources and subscribers)
+        self._source_streams: Dict[int, MessageStream] = {}
+        self._subscribers: Dict[int, _Subscriber] = {}
+        self._sub_counter = 0
+        self._outstanding_dabs: Dict[int, Dict[str, Any]] = {}
+        self._dab_msg_counter = 0
+        self._handler_tasks: Set[asyncio.Task] = set()
+        self._tcp_server: Optional[asyncio.AbstractServer] = None
+        self._maintenance_task: Optional[asyncio.Task] = None
+        self.listen_address: Optional[Tuple[str, int]] = None
+        #: kept ``None`` on purpose: the *shards* journal; soak tooling
+        #: checks this attribute to decide whether the single-node
+        #: journal bookkeeping applies.
+        self.journal = None
+
+        self.stats = {
+            "refreshes_accepted": 0,
+            "refreshes_routed": 0,
+            "refreshes_unroutable": 0,
+            "heartbeats_received": 0,
+            "heartbeats_forwarded": 0,
+            "notifies_sent": 0,
+            "partial_notifies": 0,
+            "dab_updates_sent": 0,
+            "dab_acks_received": 0,
+            "dab_retries": 0,
+            "dab_retries_exhausted": 0,
+            "probes_forwarded": 0,
+            "slow_consumer_evictions": 0,
+            "protocol_errors": 0,
+            "sources_registered": 0,
+            "subscribers": 0,
+            "shard_frame_mismatches": 0,
+            "shard_reattachments": 0,
+            "shard_resubscribes": 0,
+            "snapshot_gathers": 0,
+            "snapshot_gather_fallbacks": 0,
+        }
+        self._closing = False
+
+    # -- facade properties (soak/loadgen compatibility) ---------------------------
+
+    @property
+    def lease_duration(self) -> Optional[float]:
+        durations = [srv.lease_duration for srv in self.shards.values()
+                     if srv.lease_duration is not None]
+        return max(durations) if durations else None
+
+    @property
+    def suspect_since(self) -> Dict[str, float]:
+        merged: Dict[str, float] = {}
+        for srv in self.shards.values():
+            for item, since in srv.suspect_since.items():
+                held = merged.get(item)
+                merged[item] = since if held is None else min(held, since)
+        return merged
+
+    @property
+    def _degraded_keys(self) -> frozenset:
+        return frozenset(self._merged_degraded())
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Attach every shard (impersonated source streams + one wildcard
+        subscription each); must run inside the event loop, before any
+        source or subscriber connects."""
+        if self.started:
+            return
+        for sid in sorted(self.shards):
+            await self._attach_shard(sid)
+        self.started = True
+
+    def _sources_for_shard(self, sid: int) -> Dict[int, List[str]]:
+        by_source: Dict[int, List[str]] = {}
+        for item in self.decomposition.items_needed.get(sid, ()):
+            source_id = self.item_to_source.get(item)
+            if source_id is None:
+                continue
+            by_source.setdefault(source_id, []).append(item)
+        return by_source
+
+    async def _attach_shard(self, sid: int) -> None:
+        server = self.shards[sid]
+        for source_id, items in sorted(self._sources_for_shard(sid).items()):
+            stream = server.connect_loopback()
+            await stream.send(protocol.register_source(source_id, items))
+            reply = await stream.receive()
+            if reply is not None:
+                try:
+                    kind = protocol.validate_message(reply)
+                except ProtocolError:
+                    kind = None
+                if kind is MessageType.DAB_UPDATE:
+                    changed = self._merge_shard_bounds(sid, reply)
+                    await self._push_changed_bounds(changed)
+            key = (sid, source_id)
+            self._up_streams[key] = stream
+            self._up_tasks[key] = asyncio.ensure_future(
+                self._upstream_listener(sid, source_id, stream))
+        await self._subscribe_shard(sid)
+
+    async def _subscribe_shard(self, sid: int) -> None:
+        """Open (or re-open) the wildcard aggregation subscription to one
+        shard; the initial SNAPSHOT reply re-seeds the partial table, so
+        a re-subscribe after a trunk drop also heals partial staleness."""
+        server = self.shards[sid]
+        sub = server.connect_loopback()
+        await sub.send(protocol.query_sub("*", trunk=True))
+        first = await sub.receive()
+        if first is not None and first.get("type") == MessageType.SNAPSHOT.value:
+            for name, value in (first.get("values") or {}).items():
+                if name in self._home_shards:
+                    self._partials.setdefault(name, {})[sid] = float(value)
+            degraded = first.get("degraded")
+            if degraded is not None:
+                self._set_shard_degraded(sid, degraded)
+        self._sub_streams[sid] = sub
+        self._sub_tasks[sid] = asyncio.ensure_future(
+            self._shard_sub_listener(sid, sub))
+
+    async def _detach_shard(self, sid: int) -> None:
+        for key in [k for k in list(self._up_tasks) if k[0] == sid]:
+            task = self._up_tasks.pop(key)
+            task.cancel()
+            stream = self._up_streams.pop(key, None)
+            if stream is not None:
+                stream.close()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        task = self._sub_tasks.pop(sid, None)
+        stream = self._sub_streams.pop(sid, None)
+        if stream is not None:
+            stream.close()
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._fail_snapshot_waiters(sid)
+
+    async def reattach_shard(self, sid: int,
+                             server: CoordinatorServer) -> None:
+        """Adopt a restored shard: rebuild the impersonated streams and
+        subscription, then probe the real sources for everything the
+        shard reads — refreshes routed while it was dead are gone from
+        its view, and fresh values (resync refreshes with bumped seqs)
+        are the authoritative cure.  Shards that never died dedup the
+        probe answers by seq, harmlessly."""
+        await self._detach_shard(sid)
+        self.shards[sid] = server
+        self.stats["shard_reattachments"] += 1
+        await self._attach_shard(sid)
+        for source_id, items in sorted(self._sources_for_shard(sid).items()):
+            await self._forward_probe(source_id, items)
+
+    async def serve_tcp(self, host: str = "127.0.0.1",
+                        port: int = 0) -> Tuple[str, int]:
+        if not self.started:
+            await self.start()
+
+        async def _accept(reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+            peer = writer.get_extra_info("peername")
+            stream = MessageStream(reader, writer, name=str(peer))
+            await self.handle_connection(stream)
+
+        self._tcp_server = await asyncio.start_server(_accept, host, port)
+        sockname = self._tcp_server.sockets[0].getsockname()
+        self.listen_address = (sockname[0], sockname[1])
+        self.start_maintenance()
+        return sockname[0], sockname[1]
+
+    def start_maintenance(self) -> None:
+        if self._maintenance_task is not None:
+            return
+        intervals = [srv.lease_check_interval for srv in self.shards.values()
+                     if srv.lease_check_interval is not None]
+        if not intervals and self.dab_retry_policy is None:
+            return
+        interval = min(intervals) if intervals else 1.0
+        self._maintenance_task = asyncio.ensure_future(
+            self._maintenance_loop(interval))
+
+    async def _maintenance_loop(self, interval: float) -> None:
+        while True:
+            await asyncio.sleep(interval)
+            await self.check_leases()
+            await self.check_retries()
+
+    def adopt_connection(self, server_end: MessageStream) -> None:
+        task = asyncio.ensure_future(self.handle_connection(server_end))
+        self._handler_tasks.add(task)
+        task.add_done_callback(self._handler_tasks.discard)
+
+    def connect_loopback(self) -> MessageStream:
+        client_end, server_end = loopback_pair()
+        self.adopt_connection(server_end)
+        return client_end
+
+    async def close(self, final_snapshot: bool = True) -> None:
+        self._closing = True
+        if self._maintenance_task is not None:
+            self._maintenance_task.cancel()
+            try:
+                await self._maintenance_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._maintenance_task = None
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+        for sub in list(self._subscribers.values()):
+            await self._drop_subscriber(sub)
+        for sid in sorted(set(self._sub_streams) | {k[0] for k in self._up_streams}):
+            await self._detach_shard(sid)
+        for stream in list(self._source_streams.values()):
+            stream.close()
+        self._source_streams.clear()
+        for task in list(self._handler_tasks):
+            task.cancel()
+        for task in list(self._handler_tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        for sid in sorted(self.shards):
+            await self.shards[sid].close(final_snapshot=final_snapshot)
+
+    # -- DAB merge (shards -> router -> real sources) -----------------------------
+
+    def _merge_shard_bounds(self, sid: int,
+                            message: Mapping[str, Any]) -> Dict[str, float]:
+        """Fold one shard's DAB_UPDATE into the min-merge table; returns
+        the items whose *effective* (cross-shard min) bound materially
+        changed, under freshly bumped router epochs."""
+        changed: Dict[str, float] = {}
+        for name, bound in (message.get("bounds") or {}).items():
+            votes = self._shard_bounds.setdefault(name, {})
+            votes[sid] = float(bound)
+            effective = min(votes.values())
+            previous = self._effective_bounds.get(name)
+            if (previous is not None
+                    and abs(effective - previous)
+                    <= _DAB_CHANGE_REL_TOL * previous):
+                continue
+            self._effective_bounds[name] = effective
+            self.epochs[name] = self.epochs.get(name, 0) + 1
+            changed[name] = effective
+        for name, floor in (message.get("seqs") or {}).items():
+            self._seq_floors[name] = max(self._seq_floors.get(name, 0),
+                                         int(floor))
+        return changed
+
+    async def _push_changed_bounds(self, changed: Mapping[str, float]) -> None:
+        if not changed:
+            return
+        by_source: Dict[int, Tuple[Dict[str, float], Dict[str, int]]] = {}
+        for name, bound in changed.items():
+            source_id = self.item_to_source.get(name)
+            if source_id is None:
+                continue
+            bounds, epochs = by_source.setdefault(source_id, ({}, {}))
+            bounds[name] = bound
+            epochs[name] = self.epochs[name]
+        for source_id, (bounds, epochs) in sorted(by_source.items()):
+            await self._send_dab_update(source_id, bounds, epochs)
+
+    async def _send_dab_update(self, source_id: int,
+                               bounds: Dict[str, float],
+                               epochs: Dict[str, int],
+                               attempt: int = 0,
+                               msg_id: Optional[int] = None) -> None:
+        """Same reliable-delivery contract as the server's: with a retry
+        policy the update carries a msg_id and sits in the outstanding
+        table until the real source acks it."""
+        policy = self.dab_retry_policy
+        if policy is not None:
+            if msg_id is None:
+                self._dab_msg_counter += 1
+                msg_id = self._dab_msg_counter
+            self._outstanding_dabs[msg_id] = {
+                "source_id": source_id, "bounds": bounds, "epochs": epochs,
+                "attempt": attempt, "due": self.clock() + policy.delay(attempt),
+            }
+        stream = self._source_streams.get(source_id)
+        if stream is None:
+            return
+        if await self._safe_send(stream,
+                                 protocol.dab_update(source_id, bounds,
+                                                     epochs, msg_id=msg_id)):
+            self.stats["dab_updates_sent"] += 1
+
+    def _on_dab_ack(self, message: Mapping[str, Any]) -> None:
+        self._outstanding_dabs.pop(int(message["msg_id"]), None)
+        self.stats["dab_acks_received"] += 1
+
+    async def check_retries(self) -> None:
+        policy = self.dab_retry_policy
+        if policy is None or not self._outstanding_dabs:
+            return
+        now = self.clock()
+        for msg_id in list(self._outstanding_dabs):
+            entry = self._outstanding_dabs.get(msg_id)
+            if entry is None or entry["due"] > now:
+                continue
+            del self._outstanding_dabs[msg_id]
+            attempt = entry["attempt"] + 1
+            if attempt >= policy.max_attempts:
+                self.stats["dab_retries_exhausted"] += 1
+                continue
+            self.stats["dab_retries"] += 1
+            await self._send_dab_update(entry["source_id"], entry["bounds"],
+                                        entry["epochs"], attempt=attempt,
+                                        msg_id=msg_id)
+
+    async def check_leases(self) -> None:
+        """Drive every shard's lease sweep (their probes flow back to the
+        real sources through the impersonated streams)."""
+        for sid in sorted(self.shards):
+            await self.shards[sid].check_leases()
+            await self.shards[sid].check_retries()
+
+    # -- shard listeners ----------------------------------------------------------
+
+    async def _upstream_listener(self, sid: int, source_id: int,
+                                 stream: MessageStream) -> None:
+        """Consume one shard's source-plane traffic: bound changes are
+        min-merged and pushed outward; probes are forwarded to the real
+        source; msg_id-tagged updates are acked instantly (the loopback
+        hop is lossless — retries toward the router would be noise)."""
+        try:
+            while True:
+                message = await stream.receive()
+                if message is None:
+                    break
+                try:
+                    kind = protocol.validate_message(message)
+                except ProtocolError:
+                    break
+                if kind is MessageType.DAB_UPDATE:
+                    msg_id = message.get("msg_id")
+                    if msg_id is not None:
+                        await self._safe_send(
+                            stream, protocol.dab_ack(source_id, int(msg_id)))
+                    changed = self._merge_shard_bounds(sid, message)
+                    await self._push_changed_bounds(changed)
+                    probe = message.get("probe")
+                    if probe:
+                        await self._forward_probe(source_id, probe)
+                elif kind is MessageType.ERROR:
+                    break
+        except (TransportClosed, ProtocolError):
+            pass
+        except asyncio.CancelledError:
+            raise
+        finally:
+            stream.close()
+
+    async def _forward_probe(self, source_id: int,
+                             items: Sequence[str]) -> None:
+        stream = self._source_streams.get(source_id)
+        if stream is None:
+            return
+        message = protocol.dab_update(source_id, {}, {}, probe=items)
+        if await self._safe_send(stream, message):
+            self.stats["probes_forwarded"] += 1
+
+    async def _shard_sub_listener(self, sid: int,
+                                  stream: MessageStream) -> None:
+        try:
+            while True:
+                message = await stream.receive()
+                if message is None:
+                    break
+                try:
+                    kind = protocol.validate_message(message)
+                except ProtocolError:
+                    break
+                if kind is MessageType.NOTIFY:
+                    frame_sid = message.get("shard")
+                    if frame_sid is not None and int(frame_sid) != sid:
+                        self.stats["shard_frame_mismatches"] += 1
+                        continue
+                    self._on_shard_notify(sid, message)
+                    # The trunk's deep queue can hold a whole storm, and
+                    # a loopback receive() on a non-empty queue never
+                    # suspends — yield after each recombine so the
+                    # subscriber writer tasks drain the fan-out queues
+                    # instead of filling to phantom eviction.
+                    await asyncio.sleep(0)
+                elif kind is MessageType.SNAPSHOT:
+                    self._resolve_snapshot(sid, message)
+                elif kind is MessageType.ERROR:
+                    break
+        except (TransportClosed, ProtocolError):
+            pass
+        except asyncio.CancelledError:
+            raise
+        finally:
+            stream.close()
+            self._fail_snapshot_waiters(sid)
+            if (not self._closing
+                    and self._sub_streams.get(sid) is stream
+                    and sid in self.shards):
+                # The aggregation trunk died while the shard is still
+                # attached (e.g. the shard evicted us as a slow consumer
+                # under a notify storm).  Without the trunk this shard's
+                # partials silently go stale, so re-subscribe: the fresh
+                # initial snapshot re-seeds them.
+                self._sub_streams.pop(sid, None)
+                self._sub_tasks.pop(sid, None)
+                self.stats["shard_resubscribes"] += 1
+                asyncio.ensure_future(self._resubscribe_shard(sid))
+
+    async def _resubscribe_shard(self, sid: int) -> None:
+        try:
+            await self._subscribe_shard(sid)
+        except Exception:
+            # The shard vanished under us (concurrent close/failover);
+            # reattach_shard rebuilds the trunk when it returns.
+            pass
+
+    def _resolve_snapshot(self, sid: int, message: Dict[str, Any]) -> None:
+        waiters = self._snapshot_waiters.get(sid)
+        if waiters:
+            waiter = waiters.pop(0)
+            if not waiter.done():
+                waiter.set_result(message)
+
+    def _fail_snapshot_waiters(self, sid: int) -> None:
+        for waiter in self._snapshot_waiters.pop(sid, []):
+            if not waiter.done():
+                waiter.set_result(None)
+
+    # -- aggregation --------------------------------------------------------------
+
+    def _set_shard_degraded(self, sid: int,
+                            degraded: Mapping[str, float]) -> None:
+        # The field is the shard's complete current map — replace.
+        self._shard_degraded[sid] = {str(name): float(bound)
+                                     for name, bound in degraded.items()}
+
+    def _merged_degraded(self) -> Dict[str, float]:
+        """A query is degraded iff any home shard flags it; the honest
+        total bound sums each home shard's contribution — its widened
+        bound when flagged, its full ``B/k`` sub-budget otherwise."""
+        merged: Dict[str, float] = {}
+        for name, home in self._home_shards.items():
+            flagged = [sid for sid in home
+                       if name in self._shard_degraded.get(sid, {})]
+            if not flagged:
+                continue
+            total = 0.0
+            for sid in home:
+                shard_map = self._shard_degraded.get(sid, {})
+                total += shard_map.get(name, self._sub_qab[name][sid])
+            merged[name] = total
+        return merged
+
+    def _recombined_value(self, name: str) -> Optional[float]:
+        partials = self._partials.get(name)
+        if not partials:
+            return None
+        home = self._home_shards.get(name)
+        if home is None:
+            return None
+        available = {sid: partials[sid] for sid in home if sid in partials}
+        if not available:
+            return None
+        return recombine(available)
+
+    def _on_shard_notify(self, sid: int, message: Dict[str, Any]) -> None:
+        self.stats["partial_notifies"] += 1
+        degraded = message.get("degraded")
+        if degraded is not None:
+            self._set_shard_degraded(sid, degraded)
+        changed: List[str] = []
+        for update in message.get("updates") or []:
+            name = update.get("query")
+            if name not in self._home_shards:
+                continue
+            self._partials.setdefault(name, {})[sid] = float(update["value"])
+            changed.append(name)
+        recombined: List[Tuple[str, float]] = []
+        for name in changed:
+            value = self._recombined_value(name)
+            if value is not None:
+                recombined.append((name, value))
+        if recombined or degraded is not None:
+            self._fanout_notifications(recombined,
+                                       message.get("refresh_sent_at"))
+
+    def _fanout_notifications(self, recombined: List[Tuple[str, float]],
+                              refresh_sent_at: Optional[float]) -> None:
+        now = self.clock()
+        merged = self._merged_degraded()
+        keys = frozenset(merged)
+        include_degraded = bool(merged) or keys != self._last_degraded_keys
+        self._last_degraded_keys = keys
+        for sub in list(self._subscribers.values()):
+            updates = [{"query": name, "value": value}
+                       for name, value in recombined if sub.wants(name)]
+            if not updates and not include_degraded:
+                continue
+            message = protocol.notify(
+                updates, sent_at=now, refresh_sent_at=refresh_sent_at,
+                degraded={name: bound for name, bound in merged.items()
+                          if sub.wants(name)} if include_degraded else None)
+            try:
+                sub.queue.put_nowait(message)
+            except asyncio.QueueFull:
+                self._evict_slow_consumer(sub)
+
+    async def _gather_snapshot(self) -> Tuple[Dict[str, float],
+                                              Dict[str, float],
+                                              Dict[int, Dict[str, Any]]]:
+        """Fresh per-shard snapshots, recombined.
+
+        Each shard's snapshot serves its sub-queries within ``B/k``, so
+        the summed values are within ``B`` — serving the last NOTIFY
+        partials instead would stack partial staleness on top of the
+        filtering error and break the budget.  A shard that cannot
+        answer (mid-failover) falls back to its last partials and is
+        counted."""
+        self.stats["snapshot_gathers"] += 1
+        loop = asyncio.get_event_loop()
+        pending: Dict[int, asyncio.Future] = {}
+        for sid in sorted(self.shards):
+            stream = self._sub_streams.get(sid)
+            if stream is None:
+                # Mid-failover (or trunk re-subscribing): no live trunk,
+                # this shard serves its stale partials below.
+                self.stats["snapshot_gather_fallbacks"] += 1
+                continue
+            waiter = loop.create_future()
+            self._snapshot_waiters.setdefault(sid, []).append(waiter)
+            if not await self._safe_send(stream, protocol.snapshot()):
+                if waiter in self._snapshot_waiters.get(sid, []):
+                    self._snapshot_waiters[sid].remove(waiter)
+                self.stats["snapshot_gather_fallbacks"] += 1
+                continue
+            pending[sid] = waiter
+        values_by_shard: Dict[int, Dict[str, float]] = {}
+        stats_by_shard: Dict[int, Dict[str, Any]] = {}
+        for sid, waiter in pending.items():
+            try:
+                reply = await asyncio.wait_for(waiter,
+                                               timeout=SNAPSHOT_GATHER_TIMEOUT)
+            except asyncio.TimeoutError:
+                reply = None
+            if reply is None:
+                self.stats["snapshot_gather_fallbacks"] += 1
+                continue
+            values_by_shard[sid] = {
+                name: float(value)
+                for name, value in (reply.get("values") or {}).items()}
+            if reply.get("degraded") is not None:
+                self._set_shard_degraded(sid, reply["degraded"])
+            if reply.get("stats"):
+                stats_by_shard[sid] = reply["stats"]
+        values: Dict[str, float] = {}
+        for name, home in self._home_shards.items():
+            per: Dict[int, float] = {}
+            for sid in home:
+                fresh = values_by_shard.get(sid)
+                if fresh is not None and name in fresh:
+                    per[sid] = fresh[name]
+                    continue
+                stale = self._partials.get(name, {}).get(sid)
+                if stale is not None:
+                    per[sid] = stale
+            if per:
+                values[name] = recombine(per)
+        return values, self._merged_degraded(), stats_by_shard
+
+    # -- downstream connection handling -------------------------------------------
+
+    async def handle_connection(self, stream: MessageStream) -> None:
+        source_id: Optional[int] = None
+        sub: Optional[_Subscriber] = None
+        try:
+            while True:
+                message = await stream.receive()
+                if message is None:
+                    break
+                try:
+                    kind = protocol.validate_message(message)
+                except ProtocolError as err:
+                    self.stats["protocol_errors"] += 1
+                    await self._safe_send(stream, protocol.error(str(err)))
+                    break
+                try:
+                    if kind is MessageType.REGISTER_SOURCE:
+                        source_id = await self._on_register_source(
+                            stream, message)
+                    elif kind is MessageType.REFRESH:
+                        await self._on_refresh(message)
+                    elif kind is MessageType.HEARTBEAT:
+                        await self._on_heartbeat(message)
+                    elif kind is MessageType.DAB_ACK:
+                        self._on_dab_ack(message)
+                    elif kind is MessageType.QUERY_SUB:
+                        sub = await self._on_query_sub(stream, message)
+                    elif kind is MessageType.SNAPSHOT:
+                        await self._safe_send(
+                            stream, await self._snapshot_response())
+                    else:
+                        self.stats["protocol_errors"] += 1
+                        await self._safe_send(stream, protocol.error(
+                            f"unexpected {kind.value} from a client"))
+                        break
+                except (ValueError, TypeError, KeyError,
+                        ProtocolError) as err:
+                    self.stats["protocol_errors"] += 1
+                    await self._safe_send(stream, protocol.error(
+                        f"malformed {kind.value} message: {err}"))
+                    break
+        except ProtocolError:
+            self.stats["protocol_errors"] += 1
+            await self._safe_send(stream, protocol.error("corrupt framing"))
+        finally:
+            stream.close()
+            if (source_id is not None
+                    and self._source_streams.get(source_id) is stream):
+                del self._source_streams[source_id]
+            if sub is not None:
+                await self._drop_subscriber(sub)
+
+    async def _safe_send(self, stream: MessageStream,
+                         message: Dict[str, Any]) -> bool:
+        try:
+            await stream.send(message)
+            return True
+        except (TransportClosed, ProtocolError):
+            return False
+
+    async def _on_register_source(self, stream: MessageStream,
+                                  message: Dict[str, Any]) -> int:
+        source_id = int(message["source_id"])
+        previous = self._source_streams.get(source_id)
+        if previous is not None and previous is not stream:
+            previous.close()
+        self._source_streams[source_id] = stream
+        self.stats["sources_registered"] += 1
+        if self._outstanding_dabs:
+            for msg_id in [m for m, entry in self._outstanding_dabs.items()
+                           if entry["source_id"] == source_id]:
+                del self._outstanding_dabs[msg_id]
+        items = [name for name in message["items"]
+                 if self.item_to_source.get(name) == source_id]
+        bounds = {name: self._effective_bounds[name] for name in items
+                  if name in self._effective_bounds}
+        epochs = {name: self.epochs[name] for name in bounds}
+        seqs = {name: self._seq_floors[name] for name in items
+                if name in self._seq_floors}
+        if await self._safe_send(stream,
+                                 protocol.dab_update(source_id, bounds, epochs,
+                                                     seqs=seqs or None)):
+            self.stats["dab_updates_sent"] += 1
+        return source_id
+
+    async def _on_refresh(self, message: Dict[str, Any]) -> None:
+        item = message["item"]
+        shards = self._item_shards.get(item)
+        if shards is None:
+            self.stats["refreshes_unroutable"] += 1
+            return
+        self.stats["refreshes_accepted"] += 1
+        seq = int(message["seq"])
+        if seq > self._seq_floors.get(item, 0):
+            self._seq_floors[item] = seq
+        source_id = self.item_to_source.get(item)
+        for sid in shards:
+            stream = self._up_streams.get((sid, source_id))
+            if stream is None:
+                continue              # shard down: healed on reattach probe
+            if await self._safe_send(stream, message):
+                self.stats["refreshes_routed"] += 1
+
+    async def _on_heartbeat(self, message: Dict[str, Any]) -> None:
+        self.stats["heartbeats_received"] += 1
+        source_id = int(message["source_id"])
+        for (sid, src), stream in sorted(self._up_streams.items()):
+            if src != source_id:
+                continue
+            if await self._safe_send(stream, message):
+                self.stats["heartbeats_forwarded"] += 1
+
+    async def _on_query_sub(self, stream: MessageStream,
+                            message: Dict[str, Any]) -> _Subscriber:
+        if message.get("definitions"):
+            raise ProtocolError(
+                "the cluster router does not accept QUERY_SUB definitions "
+                "yet; register queries at build time")
+        wanted = message["queries"]
+        if wanted == "*":
+            names: Optional[Set[str]] = None
+        else:
+            names = {name for name in wanted if name in self._home_shards}
+        self._sub_counter += 1
+        limit = (max(self.notify_queue_limit, TRUNK_QUEUE_LIMIT)
+                 if message.get("trunk") else self.notify_queue_limit)
+        sub = _Subscriber(self._sub_counter, stream, names, limit)
+        self._subscribers[sub.sub_id] = sub
+        self.stats["subscribers"] = len(self._subscribers)
+        sub.writer_task = asyncio.ensure_future(self._subscriber_writer(sub))
+        await self._safe_send(stream, await self._snapshot_response(sub))
+        return sub
+
+    async def _snapshot_response(self, sub: Optional[_Subscriber] = None
+                                 ) -> Dict[str, Any]:
+        values, degraded, stats_by_shard = await self._gather_snapshot()
+        if sub is not None:
+            values = {name: value for name, value in values.items()
+                      if sub.wants(name)}
+        if self.lease_duration is not None:
+            wire_degraded: Optional[Dict[str, float]] = {
+                name: bound for name, bound in degraded.items()
+                if sub is None or sub.wants(name)}
+        else:
+            wire_degraded = None
+        return protocol.snapshot(values=values,
+                                 stats=self.server_stats(stats_by_shard),
+                                 degraded=wire_degraded)
+
+    def _evict_slow_consumer(self, sub: _Subscriber) -> None:
+        if sub.evicted:
+            return
+        sub.evicted = True
+        self.stats["slow_consumer_evictions"] += 1
+        self._subscribers.pop(sub.sub_id, None)
+        self.stats["subscribers"] = len(self._subscribers)
+        if sub.writer_task is not None:
+            sub.writer_task.cancel()
+        sub.stream.close()
+
+    async def _drop_subscriber(self, sub: _Subscriber) -> None:
+        self._subscribers.pop(sub.sub_id, None)
+        self.stats["subscribers"] = len(self._subscribers)
+        if sub.writer_task is not None and not sub.writer_task.done():
+            try:
+                sub.queue.put_nowait(None)
+            except asyncio.QueueFull:
+                sub.writer_task.cancel()
+            try:
+                await asyncio.wait_for(sub.writer_task,
+                                       timeout=self.writer_join_timeout)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                sub.writer_task.cancel()
+        sub.stream.close()
+
+    async def _subscriber_writer(self, sub: _Subscriber) -> None:
+        try:
+            while True:
+                message = await sub.queue.get()
+                if message is None:
+                    return
+                await sub.stream.send(message)
+                self.stats["notifies_sent"] += 1
+        except (TransportClosed, ProtocolError):
+            self._subscribers.pop(sub.sub_id, None)
+            self.stats["subscribers"] = len(self._subscribers)
+            sub.stream.close()
+        except asyncio.CancelledError:
+            raise
+
+    # -- introspection ------------------------------------------------------------
+
+    def server_stats(self, stats_by_shard: Optional[Mapping[int, Dict[str, Any]]]
+                     = None) -> Dict[str, Any]:
+        stats: Dict[str, Any] = dict(self.stats)
+        stats["cluster"] = True
+        stats["shard_count"] = self.shard_map.shards
+        stats["active_shards"] = list(self.decomposition.active_shards)
+        stats["cross_shard_queries"] = len(self.decomposition.cross_shard)
+        stats["mirrored_items"] = {
+            str(sid): len(items)
+            for sid, items in self.decomposition.mirrored_items.items()}
+        stats["queries"] = len(self._home_shards)
+        stats["items"] = len(self._item_shards)
+        stats["listen_address"] = (list(self.listen_address)
+                                   if self.listen_address is not None else None)
+        per_shard = (dict(stats_by_shard) if stats_by_shard
+                     else {sid: srv.server_stats()
+                           for sid, srv in self.shards.items()})
+        stats["shards"] = {str(sid): shard_stats
+                           for sid, shard_stats in sorted(per_shard.items())}
+        # Aggregate the hot counters so single-node tooling can read the
+        # cluster like one big coordinator.
+        for key in ("recomputations", "refreshes", "dab_change_messages",
+                    "user_notifications", "duplicate_rejects"):
+            stats[key] = sum(int(shard_stats.get(key, 0))
+                             for shard_stats in per_shard.values())
+        if self.dab_retry_policy is not None:
+            stats["dab_updates_outstanding"] = len(self._outstanding_dabs)
+        if self.lease_duration is not None:
+            stats["suspect_items"] = len(self.suspect_since)
+            stats["degraded_queries"] = len(self._last_degraded_keys)
+        return stats
+
+
+# ---------------------------------------------------------------------------
+# scenario-driven construction (shared by `repro cluster serve` / loadgen)
+# ---------------------------------------------------------------------------
+
+def build_scenario_cluster(
+    shards: int = 2,
+    query_count: int = 10,
+    item_count: int = 30,
+    source_count: int = 8,
+    trace_length: int = 301,
+    seed: int = 0,
+    algorithm: str = "dual_dab",
+    recompute_cost: float = 5.0,
+    workload: str = "portfolio",
+    vectorize: bool = True,
+    notify_queue_limit: int = DEFAULT_NOTIFY_QUEUE_LIMIT,
+    recompute_mode: str = "full",
+    bank_index: str = "flat",
+    journal_dir: Optional[str] = None,
+    snapshot_every: int = 500,
+    fsync: str = "always",
+    clock: Callable[[], float] = _time.time,
+    lease_duration: Optional[float] = None,
+    suspect_drift_rel: float = 0.05,
+    dab_retry_policy: Optional[RetryPolicy] = None,
+    solver_breaker_factory: Optional[Callable[[int], Any]] = None,
+    restore: bool = True,
+):
+    """A :class:`ClusterCoordinator` over ``shards`` coordinator shards,
+    built from the same scenario pipeline as
+    :func:`~repro.service.server.build_scenario_server` — same workload
+    generator, same rate estimation, same planner stack per shard — so a
+    one-shard cluster is bit-identical to the single server.  Returns
+    ``(cluster, scenario, item_to_source)``.
+
+    ``journal_dir`` gives every shard its own WAL/snapshot journal under
+    ``<journal_dir>/shard-<i>`` (the failover substrate); shards then
+    defer bootstrap to ``restore()``, which is called here unless
+    ``restore=False`` (the supervisor's rebuild path times it itself).
+    ``dab_retry_policy`` arms the *router's* reliable delivery toward
+    real sources; shards always run retry-free — their loopback hop to
+    the router is lossless and acked instantly.
+    """
+    from repro.dynamics.estimation import SampledRateEstimator
+    from repro.filters.caching import QuantisingCachePlanner
+    from repro.filters.cost_model import CostModel
+    from repro.service.journal import Journal
+    from repro.simulation.harness import (
+        AlgorithmName,
+        SimulationConfig,
+        _SINGLE_DAB_MODES,
+        build_planner,
+    )
+    from repro.simulation.source import assign_items_to_sources
+    from repro.workloads import scaled_scenario
+
+    scenario = scaled_scenario(
+        query_count=query_count, item_count=item_count,
+        trace_length=trace_length, source_count=source_count,
+        query_kind=workload, seed=seed,
+    )
+    config = SimulationConfig(
+        queries=scenario.queries, traces=scenario.traces,
+        algorithm=algorithm, recompute_cost=recompute_cost,
+        source_count=source_count, seed=seed, vectorize=vectorize,
+        recompute_mode=recompute_mode, bank_index=bank_index,
+    )
+    if config.algorithm is AlgorithmName.AAO_T:
+        raise ReproError("the live service has no periodic scheduler yet; "
+                         "pick a per-query algorithm")
+    items = config.used_items
+    rates = SampledRateEstimator().estimate_all(config.traces, items)
+    cost_model = CostModel(ddm=config.ddm, rates=rates,
+                           recompute_cost=recompute_cost)
+    item_to_source = assign_items_to_sources(items, source_count)
+
+    shard_map = ShardMap(shards)
+    decomposition = decompose_bank(config.queries, shard_map.shard_of)
+    initial_values = config.traces.initial_values(items)
+
+    def make_shard(sid: int) -> CoordinatorServer:
+        sub_queries = decomposition.sub_queries_for[sid]
+        needed = decomposition.items_needed[sid]
+        planner = build_planner(config, cost_model)
+        if config.cache_grid is not None:
+            planner = QuantisingCachePlanner(planner, grid=config.cache_grid,
+                                             bank_index_mode=bank_index)
+        journal = (Journal(os.path.join(journal_dir, f"shard-{sid}"),
+                           fsync=fsync, snapshot_every=snapshot_every)
+                   if journal_dir is not None else None)
+        return CoordinatorServer(
+            queries=sub_queries, planner=planner,
+            initial_values={name: initial_values[name] for name in needed},
+            item_to_source={name: item_to_source[name] for name in needed},
+            mode=_SINGLE_DAB_MODES[config.algorithm],
+            vectorize=vectorize, recompute_cost=recompute_cost,
+            # The shard's only subscriber is the router's aggregation
+            # trunk; evicting it under a notify storm severs the shard
+            # from the cluster, so the trunk queue is sized generously
+            # (user-facing backpressure lives at the router's own
+            # subscriber queues, which keep ``notify_queue_limit``).
+            notify_queue_limit=max(SHARD_TRUNK_QUEUE_LIMIT,
+                                   notify_queue_limit),
+            recompute_strategy=recompute_mode,
+            bank_index=bank_index,
+            shard_id=sid,
+            clock=clock,
+            lease_duration=lease_duration,
+            suspect_drift_rel=suspect_drift_rel,
+            solver_breaker=(solver_breaker_factory(sid)
+                            if solver_breaker_factory is not None else None),
+            journal=journal,
+            bootstrap=journal is None,
+        )
+
+    shard_servers: Dict[int, CoordinatorServer] = {}
+    for sid in decomposition.active_shards:
+        server = make_shard(sid)
+        if journal_dir is not None and restore:
+            server.restore()
+        shard_servers[sid] = server
+
+    cluster = ClusterCoordinator(
+        shards=shard_servers, decomposition=decomposition,
+        shard_map=shard_map, item_to_source=item_to_source,
+        queries=config.queries, clock=clock,
+        notify_queue_limit=notify_queue_limit,
+        dab_retry_policy=dab_retry_policy,
+        make_shard=make_shard,
+    )
+    return cluster, scenario, item_to_source

@@ -1,0 +1,59 @@
+"""Stable item → shard assignment for the coordinator cluster.
+
+The shard map must be deterministic across processes, machines and
+Python invocations: the router, the supervisor and any out-of-process
+tooling (journal inspection, benchmarks) all need to agree on which
+shard owns an item without exchanging state.  Python's builtin
+``hash()`` is salted per process (``PYTHONHASHSEED``), so the map is
+keyed on ``zlib.crc32`` over the UTF-8 item name instead — stable by
+specification, cheap, and well mixed for the short symbol-like item
+names the scenario generators produce.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def stable_shard(item: str, shards: int) -> int:
+    """Return the owning shard for *item* in a cluster of *shards*."""
+    if shards <= 0:
+        raise ValueError("shard count must be positive")
+    if shards == 1:
+        return 0
+    return zlib.crc32(item.encode("utf-8")) % shards
+
+
+class ShardMap:
+    """A fixed-size cluster's item → shard assignment.
+
+    Thin and immutable on purpose: resharding is out of scope (the
+    cluster is built for a fixed N), so the map is pure arithmetic and
+    can be reconstructed anywhere from the shard count alone.
+    """
+
+    def __init__(self, shards: int) -> None:
+        if shards <= 0:
+            raise ValueError("shard count must be positive")
+        self.shards = int(shards)
+
+    def shard_of(self, item: str) -> int:
+        return stable_shard(item, self.shards)
+
+    def __call__(self, item: str) -> int:
+        return self.shard_of(item)
+
+    def partition(self, items: Iterable[str]) -> Dict[int, List[str]]:
+        """Group *items* by owning shard (shards with no items omitted)."""
+        grouped: Dict[int, List[str]] = {}
+        for item in items:
+            grouped.setdefault(self.shard_of(item), []).append(item)
+        return {shard: sorted(names) for shard, names in sorted(grouped.items())}
+
+    def spread(self, items: Sequence[str]) -> Tuple[int, ...]:
+        """The sorted tuple of distinct shards touched by *items*."""
+        return tuple(sorted({self.shard_of(item) for item in items}))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardMap(shards={self.shards})"

@@ -194,15 +194,27 @@ _OPTIONAL: Dict[MessageType, Dict[str, Callable[[object], bool]]] = {
     # ``degraded`` maps query names to the honestly-widened accuracy
     # bound the coordinator can currently promise (stale inputs); an
     # empty map clears a previous degradation.
+    # ``shard`` tags a frame with the emitting coordinator shard, so a
+    # cluster router can attribute partial aggregates without trusting
+    # stream bookkeeping alone; single-node servers omit it.
     MessageType.NOTIFY: {"sent_at": _is_number, "refresh_sent_at": _is_number,
-                         "degraded": _is_number_map},
-    MessageType.SNAPSHOT: {"degraded": _is_number_map},
+                         "degraded": _is_number_map, "shard": _is_int},
+    MessageType.SNAPSHOT: {"degraded": _is_number_map, "shard": _is_int},
     # ``definitions`` lets a subscriber *register* queries it wants served
     # (the incremental bank-append path) instead of only naming existing
     # ones; each entry is ``{"name", "qab", "terms": [{"weight",
     # "exponents"}]}`` — the same wire shape the journal's ``qadd``
     # records use, so replay and subscription decode identically.
-    MessageType.QUERY_SUB: {"definitions": _is_definitions},
+    MessageType.QUERY_SUB: {"definitions": _is_definitions,
+                            # ``trunk`` marks the subscription as
+                            # infrastructure (a cluster router's shard
+                            # aggregation trunk, a fan-out broker's
+                            # upstream): the server grants it a deep
+                            # notify queue instead of the user-facing
+                            # slow-consumer limit, because evicting a
+                            # trunk silently severs every client behind
+                            # it rather than shedding one laggard.
+                            "trunk": lambda v: isinstance(v, bool)},
 }
 
 
@@ -380,13 +392,20 @@ def heartbeat(source_id: int, seqs: Mapping[str, int]) -> Dict[str, Any]:
 
 
 def query_sub(queries: object = "*",
-              definitions: Optional[Sequence[Any]] = None) -> Dict[str, Any]:
+              definitions: Optional[Sequence[Any]] = None,
+              trunk: bool = False) -> Dict[str, Any]:
     """Subscribe to ``queries`` — a list of query names, or ``"*"``.
 
     ``definitions`` optionally carries :class:`PolynomialQuery` objects
     (or already-wire-shaped dicts) to *register* before subscribing —
     the incremental bank-append path; the server rejects a definition
-    whose name is taken by a structurally different query."""
+    whose name is taken by a structurally different query.
+
+    ``trunk=True`` declares the subscription infrastructure-grade (a
+    router's shard trunk, a broker's upstream) so the server sizes its
+    notify queue for aggregation fan-in instead of a single laggard
+    client; the field is omitted when false so ordinary subscription
+    frames stay byte-identical."""
     if queries != "*":
         queries = sorted(queries)
     wire_defs = None
@@ -394,7 +413,8 @@ def query_sub(queries: object = "*",
         wire_defs = [entry if isinstance(entry, dict) else query_to_wire(entry)
                      for entry in definitions]
     return _message(MessageType.QUERY_SUB, queries=queries,
-                    definitions=wire_defs)
+                    definitions=wire_defs,
+                    trunk=True if trunk else None)
 
 
 def query_to_wire(query: Any) -> Dict[str, Any]:
@@ -429,26 +449,32 @@ def query_from_wire(data: Mapping[str, Any]) -> Any:
 def notify(updates: Sequence[Mapping[str, Any]], *,
            sent_at: Optional[float] = None,
            refresh_sent_at: Optional[float] = None,
-           degraded: Optional[Mapping[str, float]] = None) -> Dict[str, Any]:
+           degraded: Optional[Mapping[str, float]] = None,
+           shard: Optional[int] = None) -> Dict[str, Any]:
     """Batched query-value updates: ``[{"query", "value"}, ...]``.
 
     ``refresh_sent_at`` echoes the triggering refresh's ``sent_at`` so a
     subscriber can measure end-to-end notify latency without clock games.
     ``degraded`` maps query names to honestly-widened accuracy bounds
     while their inputs are lease-expired; ``{}`` clears the flag.
+    ``shard`` marks the values as one shard's *partial aggregates* in a
+    cluster (absent from single-node servers).
     """
     return _message(MessageType.NOTIFY, updates=list(updates),
                     sent_at=sent_at, refresh_sent_at=refresh_sent_at,
-                    degraded=dict(degraded) if degraded is not None else None)
+                    degraded=dict(degraded) if degraded is not None else None,
+                    shard=int(shard) if shard is not None else None)
 
 
 def snapshot(values: Optional[Mapping[str, float]] = None,
              stats: Optional[Mapping[str, Any]] = None,
-             degraded: Optional[Mapping[str, float]] = None) -> Dict[str, Any]:
+             degraded: Optional[Mapping[str, float]] = None,
+             shard: Optional[int] = None) -> Dict[str, Any]:
     """Request form (no ``values``) or response form (with them)."""
     return _message(MessageType.SNAPSHOT, values=dict(values) if values is not None else None,
                     stats=dict(stats) if stats is not None else None,
-                    degraded=dict(degraded) if degraded is not None else None)
+                    degraded=dict(degraded) if degraded is not None else None,
+                    shard=int(shard) if shard is not None else None)
 
 
 def error(reason: str) -> Dict[str, Any]:

@@ -45,6 +45,12 @@ from repro.simulation.metrics import MetricsCollector
 #: NOTIFY batches a subscriber may have outstanding before it is evicted.
 DEFAULT_NOTIFY_QUEUE_LIMIT = 64
 
+#: Queue-limit floor granted to ``QUERY_SUB trunk=True`` subscriptions —
+#: infrastructure consumers (a cluster router's shard trunk, a fan-out
+#: broker's upstream) whose eviction would sever every client behind
+#: them.  Deep enough to absorb a full replay storm's NOTIFY burst.
+TRUNK_QUEUE_LIMIT = 4096
+
 
 class _Subscriber:
     """One QUERY_SUB connection and its bounded outbound queue."""
@@ -94,6 +100,7 @@ class CoordinatorServer:
         bootstrap: bool = True,
         recompute_strategy: str = "full",
         bank_index: str = "flat",
+        shard_id: Optional[int] = None,
     ):
         self.metrics = metrics if metrics is not None else MetricsCollector(
             recompute_cost=recompute_cost)
@@ -173,6 +180,13 @@ class CoordinatorServer:
         self.last_heard: Dict[int, float] = {}
         self._tcp_server: Optional[asyncio.AbstractServer] = None
         self._handler_tasks: Set[asyncio.Task] = set()
+        #: This coordinator's shard id inside a cluster (``None`` when it
+        #: is the whole deployment); stamped on NOTIFY/SNAPSHOT frames so
+        #: the router can attribute partial aggregates.
+        self.shard_id = int(shard_id) if shard_id is not None else None
+        #: ``(host, port)`` once :meth:`serve_tcp` binds; ``None`` for
+        #: loopback-only embeddings.
+        self.listen_address: Optional[Tuple[str, int]] = None
         self.stats = {
             "refreshes_accepted": 0,
             "refreshes_rejected_stale_seq": 0,
@@ -200,6 +214,7 @@ class CoordinatorServer:
 
         self._tcp_server = await asyncio.start_server(_accept, host, port)
         sockname = self._tcp_server.sockets[0].getsockname()
+        self.listen_address = (sockname[0], sockname[1])
         self.start_maintenance()
         return sockname[0], sockname[1]
 
@@ -775,7 +790,7 @@ class CoordinatorServer:
         degraded = self.degraded_bounds()
         for sub in list(self._subscribers.values()):
             message = protocol.notify(
-                [], sent_at=self.clock(),
+                [], sent_at=self.clock(), shard=self.shard_id,
                 degraded={name: bound for name, bound in degraded.items()
                           if sub.wants(name)})
             try:
@@ -864,8 +879,9 @@ class CoordinatorServer:
             # in ``queries`` would be redundant boilerplate.
             names |= {data["name"] for data in definitions or []}
         self._sub_counter += 1
-        sub = _Subscriber(self._sub_counter, stream, names,
-                          self.notify_queue_limit)
+        limit = (max(self.notify_queue_limit, TRUNK_QUEUE_LIMIT)
+                 if message.get("trunk") else self.notify_queue_limit)
+        sub = _Subscriber(self._sub_counter, stream, names, limit)
         sub.registered = registered
         self._subscribers[sub.sub_id] = sub
         self.stats["subscribers"] = len(self._subscribers)
@@ -887,7 +903,7 @@ class CoordinatorServer:
         else:
             degraded = None
         return protocol.snapshot(values=values, stats=self.server_stats(),
-                                 degraded=degraded)
+                                 degraded=degraded, shard=self.shard_id)
 
     def _fanout_notifications(self, notifications: List[Tuple[str, float]],
                               refresh_sent_at: Optional[float]) -> None:
@@ -904,6 +920,7 @@ class CoordinatorServer:
                 continue
             message = protocol.notify(
                 updates, sent_at=now, refresh_sent_at=refresh_sent_at,
+                shard=self.shard_id,
                 degraded=None if degraded is None else
                 {name: bound for name, bound in degraded.items()
                  if sub.wants(name)})
@@ -962,6 +979,12 @@ class CoordinatorServer:
 
     def server_stats(self) -> Dict[str, Any]:
         stats = dict(self.stats)
+        # Identity first: the cluster stats plane aggregates per-shard
+        # sections keyed on these, so they are always present (``None``
+        # for an unbound / single-node server).
+        stats["shard_id"] = self.shard_id
+        stats["listen_address"] = (list(self.listen_address)
+                                   if self.listen_address is not None else None)
         stats["recomputations"] = self.metrics.recomputations
         stats["refreshes"] = self.metrics.refreshes
         stats["dab_change_messages"] = self.metrics.dab_change_messages

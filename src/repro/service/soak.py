@@ -94,11 +94,20 @@ _NAMED_SCHEDULES = {
         partitions=(PartitionWindow(20.0, 22.0),),
         crash_windows=(CrashWindow(0, 13.0, 17.0),),
         seed=seed), 30),
+    # The restart profile with the kills aimed at individual coordinator
+    # *shards* (rotating across the cluster) instead of the whole
+    # coordinator — pair with ``run_chaos_soak(shards=N)``.
+    "shards": (lambda seed: FaultSchedule(
+        drop_rate=0.25, loss_windows=(PartitionWindow(4.0, 7.0),),
+        duplicate_rate=0.05,
+        partitions=(PartitionWindow(20.0, 22.0),),
+        crash_windows=(CrashWindow(0, 13.0, 17.0),),
+        seed=seed), 30),
 }
 
 #: default coordinator-kill steps per schedule (used when the caller
 #: journals the run but does not pick kill steps explicitly).
-_DEFAULT_KILL_STEPS = {"restart": (9, 24)}
+_DEFAULT_KILL_STEPS = {"restart": (9, 24), "shards": (9, 24)}
 
 
 def named_schedule(name: str, seed: int = 1) -> Tuple[FaultSchedule, int]:
@@ -139,7 +148,12 @@ async def _run_async(
     register_timeout: float,
     server_factory: Optional[Callable[[], Any]] = None,
     kill_steps: Sequence[int] = (),
+    kill_handler: Optional[Callable[[int], Any]] = None,
 ) -> Dict[str, Any]:
+    # A cluster front-end must attach its shards before anything
+    # connects; the single server has no such hook.
+    if hasattr(server, "start"):
+        await server.start()
     traces = scenario.traces
     queries = scenario.queries
     qab_slack = 1e-9
@@ -292,7 +306,17 @@ async def _run_async(
     async def _step(step: int, phase: str) -> None:
         clock.step = step
         if step in kills:
-            await _kill_and_restore(step)
+            if kill_handler is not None:
+                # Cluster mode: the handler fails over one shard (kill,
+                # journal-restore, reattach, probe resync); agents and
+                # the auditor stay attached to the router throughout.
+                recovery = dict(await kill_handler(step))
+                recovery["step"] = step
+                restarts.append(recovery)
+                fault_steps.add(step)
+                await _drain()
+            else:
+                await _kill_and_restore(step)
         injector.advance(step)
         await _drain(4)
 
@@ -373,6 +397,18 @@ async def _run_async(
     # Always present (``{"kills": 0}`` without a journal) so downstream
     # dashboards can key on the section unconditionally.
     recovery_section: Dict[str, Any] = {"kills": len(restarts)}
+    if restarts and server.journal is None:
+        # Cluster shard failovers: the journals live shard-side (the
+        # router itself is stateless), so only the per-restore records
+        # are reported here.
+        recovery_section.update({
+            "restarts": restarts,
+            "records_replayed_total": sum(
+                r.get("records_replayed", 0) for r in restarts),
+            "recovery_seconds_max": max(
+                (r.get("recovery_seconds", 0.0) for r in restarts),
+                default=0.0),
+        })
     if server.journal is not None:
         append_samples.extend(server.journal.append_seconds)
         recovery_section.update({
@@ -438,19 +474,26 @@ def run_chaos_soak(
     kill_steps: Optional[Sequence[int]] = None,
     snapshot_every: int = 50,
     fsync: str = "always",
+    shards: int = 1,
 ) -> Dict[str, Any]:
     """Run the chaos soak; returns (and optionally writes) the report.
 
     ``schedule`` is a profile name (``smoke``/``ci``/``heavy``/
-    ``restart``) or a custom :class:`FaultSchedule`; ``steps`` defaults
-    to the profile's budget.  ``lease_duration`` is in logical steps.
-    ``journal_dir`` journals the coordinator and enables ``kill_steps``:
-    at each listed step the server is dropped without a parting snapshot
-    and a fresh one restores from disk mid-run (the ``restart`` profile
-    defaults to two kills; a temporary directory is created when kills
-    are requested without a ``journal_dir``).  The run **fails**
-    (``report["passed"] is False``) on any unexcused QAB violation, or if
-    the degraded map has not drained by the end of the recovery tail.
+    ``restart``/``shards``) or a custom :class:`FaultSchedule`;
+    ``steps`` defaults to the profile's budget.  ``lease_duration`` is
+    in logical steps.  ``journal_dir`` journals the coordinator and
+    enables ``kill_steps``: at each listed step the server is dropped
+    without a parting snapshot and a fresh one restores from disk
+    mid-run (the ``restart`` profile defaults to two kills; a temporary
+    directory is created when kills are requested without a
+    ``journal_dir``).  ``shards > 1`` runs the same soak against a
+    sharded cluster behind a
+    :class:`~repro.service.cluster.router.ClusterCoordinator`; kills
+    then fail over one *shard* at a time (rotating), restored from its
+    own journal, while agents and the auditor stay attached to the
+    router.  The run **fails** (``report["passed"] is False``) on any
+    unexcused QAB violation, or if the degraded map has not drained by
+    the end of the recovery tail.
     """
     if isinstance(schedule, str):
         schedule_name = schedule
@@ -468,6 +511,67 @@ def run_chaos_soak(
     from repro.service.server import build_scenario_server
 
     clock = _StepClock()
+
+    if shards > 1:
+        from repro.service.cluster.router import build_scenario_cluster
+        from repro.service.cluster.supervisor import ShardSupervisor
+
+        cluster, scenario, item_to_source = build_scenario_cluster(
+            shards=shards, query_count=queries, item_count=items,
+            source_count=sources, trace_length=steps + 2, seed=seed,
+            algorithm=algorithm, workload=workload,
+            journal_dir=journal_dir, snapshot_every=snapshot_every,
+            fsync=fsync, clock=clock, lease_duration=lease_duration,
+            suspect_drift_rel=suspect_drift_rel,
+            dab_retry_policy=RetryPolicy(base_delay=1.0, backoff=1.5,
+                                         max_delay=4.0, max_attempts=6),
+            solver_breaker_factory=lambda sid: CircuitBreaker(
+                failure_threshold=3, reset_timeout=6.0, clock=clock),
+        )
+        kill_handler = None
+        if kill_steps:
+            supervisor = ShardSupervisor(cluster)
+            active = list(cluster.decomposition.active_shards)
+            rotation = {"next": 0}
+
+            async def kill_handler(step: int) -> Dict[str, Any]:
+                sid = active[rotation["next"] % len(active)]
+                rotation["next"] += 1
+                return await supervisor.kill_and_restore(sid)
+
+        injector = FaultInjector(schedule)
+        report = asyncio.run(_run_async(
+            server=cluster, scenario=scenario,
+            item_to_source=item_to_source,
+            injector=injector, clock=clock, steps=steps,
+            audit_margin=audit_margin, register_timeout=register_timeout,
+            kill_steps=kill_steps, kill_handler=kill_handler,
+        ))
+        report["shards"] = shards
+        report["active_shards"] = list(cluster.decomposition.active_shards)
+        report["cross_shard_queries"] = len(cluster.decomposition.cross_shard)
+        report["schedule"] = schedule_name
+        report["fault_kinds"] = schedule.fault_kinds()
+        report["seed"] = seed
+        report["queries"] = queries
+        report["items"] = items
+        report["sources"] = sources
+        report["algorithm"] = algorithm
+        report["workload"] = workload
+        report["lease_duration_steps"] = lease_duration
+        if journal_dir is not None:
+            report["journal_dir"] = str(journal_dir)
+            report["coordinator_recovery"]["kill_steps"] = sorted(
+                int(s) for s in kill_steps)
+        report["passed"] = (report["qab_violations_unexcused"] == 0
+                            and not report["final_degraded_queries"])
+        if output:
+            path = Path(output)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(report, indent=2, sort_keys=True)
+                            + "\n")
+            report["output"] = str(path)
+        return report
 
     def make_server():
         """One coordinator incarnation — the same scenario every time

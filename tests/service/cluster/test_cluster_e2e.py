@@ -1,0 +1,206 @@
+"""End-to-end cluster tests over loopback: QAB audit, bit-identity, stats."""
+
+import asyncio
+
+import pytest
+
+from repro.service import protocol
+from repro.service.client import ServiceClient
+from repro.service.cluster.loadgen import run_cluster_loadgen
+from repro.service.cluster.router import build_scenario_cluster
+from repro.service.protocol import MessageType
+from repro.service.server import build_scenario_server
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+SCENARIO = dict(query_count=12, item_count=16, source_count=4,
+                trace_length=22, seed=3)
+
+
+class TestClusterAudit:
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_loadgen_audit_passes_with_cross_shard_queries(self, shards):
+        report = run_cluster_loadgen(
+            shards=shards, sources=4, queries=20, items=16, duration=15,
+            subscribers=2, seed=1)
+        assert report["qab_violations"] == 0
+        # The scenario must actually exercise the B/k machinery.
+        assert report["cross_shard_queries"] > 0
+        assert len(report["active_shards"]) > 1
+        assert report["refreshes_sent"] > 0
+
+    def test_degraded_absent_without_leases(self):
+        report = run_cluster_loadgen(
+            shards=2, sources=4, queries=10, items=16, duration=10,
+            subscribers=1, seed=2)
+        assert report["qab_violations"] == 0
+
+
+class TestSingleShardBitIdentity:
+    def test_shards_1_matches_single_server_values_exactly(self):
+        cluster, scenario, item_to_source = build_scenario_cluster(
+            shards=1, **SCENARIO)
+        server, scenario2, item_to_source2 = build_scenario_server(**SCENARIO)
+        assert item_to_source == item_to_source2
+
+        async def drive(target, is_cluster):
+            if is_cluster:
+                await target.start()
+            streams = {}
+            for source_id in sorted(set(item_to_source.values())):
+                items = sorted(n for n, s in item_to_source.items()
+                               if s == source_id)
+                stream = target.connect_loopback()
+                await stream.send(protocol.register_source(source_id, items))
+                await stream.receive()
+                streams[source_id] = stream
+            seq = {}
+            for step in range(1, 20):
+                for item in sorted(item_to_source):
+                    seq[item] = seq.get(item, 0) + 1
+                    source_id = item_to_source[item]
+                    value = scenario.traces[item].at(step)
+                    await streams[source_id].send(protocol.refresh(
+                        source_id, item, value, seq[item]))
+                for _ in range(8):
+                    await asyncio.sleep(0)
+            client = ServiceClient(target.connect_loopback())
+            served = await client.subscribe("*")
+            await client.close()
+            for stream in streams.values():
+                stream.close()
+            await target.close()
+            return served
+
+        served_cluster = run(drive(cluster, True))
+        served_single = run(drive(server, False))
+        # Same scenario, same refreshes → bitwise-equal served values:
+        # shards=1 must add zero float perturbation anywhere.
+        assert served_cluster == served_single
+
+    def test_shards_1_decomposition_reuses_query_objects(self):
+        cluster, scenario, _ = build_scenario_cluster(shards=1, **SCENARIO)
+        for query in scenario.queries:
+            dec = cluster.decomposition.decompositions[query.name]
+            assert dec.sub_queries[0] is query
+
+        async def close():
+            await cluster.close()
+        run(close())
+
+
+class TestTrunkResilience:
+    def test_severed_aggregation_trunk_is_resubscribed(self):
+        # A shard under a notify storm may evict its subscribers; the
+        # router's wildcard trunk must come back on its own (and re-seed
+        # partials from the fresh snapshot), or the shard's values
+        # silently freeze and the B/k audit breaks at scale.
+        cluster, scenario, item_to_source = build_scenario_cluster(
+            shards=2, **SCENARIO)
+
+        async def body():
+            await cluster.start()
+            sid = cluster.decomposition.active_shards[0]
+            old_trunk = cluster._sub_streams[sid]
+            old_trunk.close()                      # simulate the eviction
+            for _ in range(20):
+                await asyncio.sleep(0)
+            assert cluster.stats["shard_resubscribes"] == 1
+            assert cluster._sub_streams[sid] is not old_trunk
+
+            # The new trunk serves fresh gathers: a snapshot through the
+            # router matches a direct read of each shard.
+            client = ServiceClient(cluster.connect_loopback())
+            served = await client.subscribe("*")
+            await client.close()
+            expected = {}
+            for shard_id, server in cluster.shards.items():
+                values = dict(zip((q.name for q in server.core.queries),
+                                  server.core.query_values()))
+                for name, value in values.items():
+                    expected[name] = expected.get(name, 0.0) + value
+            for name, value in expected.items():
+                assert served[name] == value
+            await cluster.close()
+
+        run(body())
+
+    def test_shard_trunk_queue_is_deeper_than_user_queues(self):
+        from repro.service.cluster.router import SHARD_TRUNK_QUEUE_LIMIT
+
+        cluster, scenario, _ = build_scenario_cluster(shards=2, **SCENARIO)
+        for server in cluster.shards.values():
+            assert server.notify_queue_limit >= SHARD_TRUNK_QUEUE_LIMIT
+        assert cluster.notify_queue_limit < SHARD_TRUNK_QUEUE_LIMIT
+
+        async def close():
+            await cluster.close()
+        run(close())
+
+
+class TestClusterStats:
+    def test_server_stats_reports_cluster_identity(self):
+        cluster, scenario, _ = build_scenario_cluster(shards=2, **SCENARIO)
+
+        async def body():
+            await cluster.start()
+            stats = cluster.server_stats()
+            assert stats["cluster"] is True
+            assert stats["shard_count"] == 2
+            assert set(stats["shards"]) <= {"0", "1"}
+            for sid, shard_stats in stats["shards"].items():
+                assert shard_stats["shard_id"] == int(sid)
+            assert stats["cross_shard_queries"] == len(
+                cluster.decomposition.cross_shard)
+            await cluster.close()
+
+        run(body())
+
+    def test_single_server_stats_have_shard_id_and_listen_address(self):
+        server, scenario, _ = build_scenario_server(**SCENARIO)
+
+        async def body():
+            stats = server.server_stats()
+            # Present (null) even for loopback embeddings, so dashboards
+            # can key on the fields unconditionally.
+            assert stats["shard_id"] is None
+            assert stats["listen_address"] is None
+            host, port = await server.serve_tcp("127.0.0.1", 0)
+            stats = server.server_stats()
+            assert stats["listen_address"] == [host, port]
+            await server.close()
+
+        run(body())
+
+    def test_shard_tags_notify_and_snapshot_frames(self):
+        server, scenario, item_to_source = build_scenario_server(
+            shard_id=7, **SCENARIO)
+
+        async def body():
+            stream = server.connect_loopback()
+            await stream.send(protocol.query_sub("*"))
+            snap = await stream.receive()
+            assert snap["type"] == MessageType.SNAPSHOT.value
+            assert snap["shard"] == 7
+            stream.close()
+            await server.close()
+
+        run(body())
+
+    def test_query_sub_trunk_flag_roundtrips_and_defaults_absent(self):
+        trunk = protocol.query_sub("*", trunk=True)
+        assert protocol.validate_message(trunk) is MessageType.QUERY_SUB
+        assert trunk["trunk"] is True
+        # Ordinary subscription frames stay byte-identical.
+        assert "trunk" not in protocol.query_sub("*")
+
+    def test_protocol_accepts_and_roundtrips_shard_field(self):
+        message = protocol.notify([{"query": "q", "value": 1.0}], shard=3)
+        assert protocol.validate_message(message) is MessageType.NOTIFY
+        assert message["shard"] == 3
+        # Absent when None — single-node frames stay byte-identical.
+        plain = protocol.notify([{"query": "q", "value": 1.0}])
+        assert "shard" not in plain

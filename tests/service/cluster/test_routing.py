@@ -1,0 +1,83 @@
+"""Shard-map stability: deterministic hashing across processes and seeds."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.service.cluster.routing import ShardMap, stable_shard
+
+
+class TestStableShard:
+    def test_golden_values_pinned(self):
+        # CRC32 is a frozen spec; these values must never drift, or every
+        # deployed cluster's ownership map silently reshuffles.
+        assert stable_shard("x0", 4) == 1
+        assert stable_shard("x1", 4) == 3
+        assert stable_shard("x2", 4) == 1
+        assert stable_shard("x3", 4) == 3
+        assert stable_shard("portfolio_0", 4) == 0
+        assert stable_shard("a", 2) == 1
+        assert stable_shard("b", 2) == 1
+
+    def test_single_shard_is_always_zero(self):
+        for item in ("x0", "x1", "anything"):
+            assert stable_shard(item, 1) == 0
+
+    def test_rejects_nonpositive_shard_count(self):
+        with pytest.raises(ValueError):
+            stable_shard("x0", 0)
+        with pytest.raises(ValueError):
+            stable_shard("x0", -1)
+
+    def test_range_and_determinism(self):
+        items = [f"x{i}" for i in range(200)]
+        for shards in (2, 3, 4, 7):
+            placed = [stable_shard(item, shards) for item in items]
+            assert all(0 <= s < shards for s in placed)
+            assert placed == [stable_shard(item, shards) for item in items]
+
+    def test_spreads_items_across_shards(self):
+        items = [f"x{i}" for i in range(100)]
+        used = {stable_shard(item, 4) for item in items}
+        assert used == {0, 1, 2, 3}
+
+    def test_stable_across_pythonhashseed(self):
+        # hash()-based placement would reshuffle per process under
+        # PYTHONHASHSEED randomisation; CRC32 must not.
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        script = (
+            "from repro.service.cluster.routing import stable_shard\n"
+            "print([stable_shard(f'x{i}', 4) for i in range(50)])\n"
+        )
+        outputs = []
+        for hashseed in ("1", "42"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hashseed
+            env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+            result = subprocess.run(
+                [sys.executable, "-c", script], env=env,
+                capture_output=True, text=True, check=True)
+            outputs.append(result.stdout)
+        assert outputs[0] == outputs[1]
+        assert outputs[0].strip() == str(
+            [stable_shard(f"x{i}", 4) for i in range(50)])
+
+
+class TestShardMap:
+    def test_partition_covers_and_is_disjoint(self):
+        shard_map = ShardMap(4)
+        items = [f"x{i}" for i in range(40)]
+        parts = shard_map.partition(items)
+        flat = [item for names in parts.values() for item in names]
+        assert sorted(flat) == sorted(items)
+        assert all(shard_map(item) == sid
+                   for sid, names in parts.items() for item in names)
+
+    def test_spread_reports_sorted_distinct_shards(self):
+        shard_map = ShardMap(4)
+        spread = shard_map.spread(["x0", "x1", "x2"])
+        assert spread == tuple(sorted(set(spread)))
+        assert spread == (1, 3)

@@ -1,0 +1,116 @@
+"""Cross-shard B/k budget decomposition: soundness and identity cases."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.filters.shard_budget import (
+    decompose_bank,
+    decompose_query,
+    recombine,
+    term_home_shard,
+)
+from repro.queries import parse_query
+from repro.service.cluster.routing import ShardMap
+
+
+def shard_of_2(item):
+    return ShardMap(2).shard_of(item)
+
+
+def shard_of_4(item):
+    return ShardMap(4).shard_of(item)
+
+
+class TestDecomposeQuery:
+    def test_single_home_shard_keeps_original_object(self):
+        # x0..x3 all co-hash to shard 1 at two shards: the query must NOT
+        # split, and the sub-query must be the original object verbatim
+        # (same terms, same full budget B) — the bit-identity guarantee.
+        query = parse_query("x0*x1 + 2 x2*x3 : 5")
+        dec = decompose_query(query, shard_of_2)
+        assert not dec.is_cross_shard
+        assert dec.home_shards == (1,)
+        assert dec.sub_queries[1] is query
+        assert dec.sub_qab(1) == query.qab
+
+    def test_cross_shard_split_budgets_sum_to_qab(self):
+        query = parse_query("x0*x1 + x2*x3 + x15*x1 : 6")
+        dec = decompose_query(query, shard_of_4)
+        assert dec.is_cross_shard
+        k = len(dec.home_shards)
+        assert k > 1
+        total = sum(dec.sub_qab(s) for s in dec.home_shards)
+        assert total == pytest.approx(query.qab)
+        for shard in dec.home_shards:
+            assert dec.sub_qab(shard) == pytest.approx(query.qab / k)
+
+    def test_sub_queries_keep_the_original_name(self):
+        query = parse_query("x0*x1 + x2*x3 + x15*x1 : 6")
+        dec = decompose_query(query, shard_of_4)
+        assert all(sub.name == query.name
+                   for sub in dec.sub_queries.values())
+
+    def test_sub_query_evaluations_sum_to_original(self):
+        query = parse_query("3 x0*x1 - 2 x2*x3 + x15 : 6")
+        values = {"x0": 2.0, "x1": 3.0, "x2": 1.5, "x3": 4.0, "x15": 7.0}
+        dec = decompose_query(query, shard_of_4)
+        parts = {shard: sub.evaluate(values)
+                 for shard, sub in dec.sub_queries.items()}
+        assert recombine(parts) == pytest.approx(query.evaluate(values))
+
+    def test_term_home_is_first_variable_owner(self):
+        query = parse_query("x2*x15 : 1")
+        term = query.terms[0]
+        assert term_home_shard(term, shard_of_4) == shard_of_4(
+            min(term.variables))
+
+    def test_mirrored_items_are_foreign_reads(self):
+        # x0*x1 homes where min('x0','x1')='x0' lives (shard 1 of 4); x1
+        # lives on shard 3, so shard 1 must mirror x1.
+        query = parse_query("x0*x1 : 2")
+        dec = decompose_query(query, shard_of_4)
+        assert dec.home_shards == (1,)
+        assert dec.mirrored == {1: ("x1",)}
+
+
+class TestDecomposeBank:
+    def test_items_needed_covers_owned_and_mirrored(self):
+        queries = [parse_query("x0*x1 : 2"), parse_query("x2*x3 : 3")]
+        bank = decompose_bank(queries, shard_of_4)
+        for query in queries:
+            for shard in bank.home_shards(query.name):
+                needed = set(bank.items_needed[shard])
+                sub = bank.decompositions[query.name].sub_queries[shard]
+                assert set(sub.variables) <= needed
+
+    def test_empty_shards_are_absent(self):
+        bank = decompose_bank([parse_query("x0*x2 : 2")], shard_of_4)
+        # both items hash to shard 1 → only shard 1 is active.
+        assert bank.active_shards == (1,)
+        assert 0 not in bank.sub_queries_for
+
+    def test_duplicate_names_rejected(self):
+        one = parse_query("x0*x1 : 2")
+        clash = parse_query("x2*x3 : 2")
+        clash = clash.sub_query(clash.terms, clash.qab, name=one.name)
+        with pytest.raises(SimulationError):
+            decompose_bank([one, clash], shard_of_4)
+
+    def test_shards_of_item_includes_mirrors(self):
+        bank = decompose_bank([parse_query("x0*x1 : 2")], shard_of_4)
+        # x1 is owned by shard 3 but mirrored to home shard 1.
+        assert 1 in bank.shards_of_item("x1")
+
+
+class TestRecombine:
+    def test_single_partial_is_verbatim(self):
+        value = 0.1 + 0.2                 # a float with representation error
+        assert recombine({3: value}) == value
+
+    def test_sums_in_sorted_shard_order(self):
+        parts = {2: 0.1, 0: 0.2, 1: 0.3}
+        assert recombine(parts) == (0.2 + 0.3 + 0.1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            recombine({})
