@@ -13,7 +13,10 @@ uses — and records, in ``benchmarks/results/BENCH_cluster.json``:
 * ``broker_notify``: notify-latency percentiles with subscribers
   attached through the fan-out broker tier;
 * ``failover``: one journal-backed kill/restore cycle — recovery wall
-  time, records replayed, and a post-restore full-budget audit.
+  time, records replayed, and a post-restore full-budget audit;
+* ``resharding``: live item migrations under refresh traffic —
+  migration wall-time percentiles, heartbeat detection-to-recovery
+  percentiles for an auto-failover, and the epoch-fence reject counts.
 
 Every loadgen run must finish with **zero QAB violations** and the
 post-failover audit must pass; either failing fails the bench.
@@ -212,3 +215,123 @@ def test_bench_cluster_failover(results_dir, tmp_path):
     print(f"\nfailover ({MODE}): shard {record['shard']} restored in "
           f"{record['recovery_seconds'] * 1e3:.1f}ms "
           f"({record['records_replayed']} records) -> {path}")
+
+
+def test_bench_cluster_resharding(results_dir, tmp_path):
+    """Live migrations + one heartbeat-detected auto-failover."""
+    from repro.service.client import latency_percentiles
+    from repro.service.cluster.health import ShardHealthMonitor
+    from repro.service.cluster.migration import ShardMigrator
+
+    path = results_dir / RESULT_NAME
+    existing = _load(path)
+    moves_wanted = 2 if MODE == "smoke" else 4
+    now = [0.0]
+    cluster, scenario, item_to_source = build_scenario_cluster(
+        shards=3, query_count=POINT["queries"], item_count=POINT["items"],
+        source_count=POINT["sources"], trace_length=4 * FAILOVER_STEPS + 8,
+        seed=0, journal_dir=str(tmp_path / "wal"), clock=lambda: now[0])
+    supervisor = ShardSupervisor(cluster)
+    monitor = ShardHealthMonitor(cluster, supervisor, clock=lambda: now[0],
+                                 deadline=2.0, max_misses=2)
+    migrator = ShardMigrator(cluster, clock=lambda: now[0])
+
+    async def body():
+        await cluster.start()
+        streams = {}
+        for source_id in sorted(set(item_to_source.values())):
+            owned = sorted(n for n, s in item_to_source.items()
+                           if s == source_id)
+            stream = cluster.connect_loopback()
+            await stream.send(protocol.register_source(source_id, owned))
+            await stream.receive()
+            streams[source_id] = stream
+        seq = {}
+        step = [0]
+
+        async def push_step():
+            step[0] += 1
+            now[0] += 1.0
+            for item in sorted(item_to_source):
+                seq[item] = seq.get(item, 0) + 1
+                await streams[item_to_source[item]].send(protocol.refresh(
+                    item_to_source[item], item,
+                    scenario.traces[item].at(step[0]), seq[item]))
+            for _ in range(8):
+                await asyncio.sleep(0)
+
+        for _ in range(FAILOVER_STEPS):
+            await push_step()
+
+        # Phase 1: migrate items one at a time under live refreshes.
+        active = cluster.decomposition.active_shards
+        items = sorted(item_to_source)[:moves_wanted]
+        moves = {
+            item: next(s for s in active
+                       if s != cluster.shard_map.shard_of(item))
+            for item in items}
+        migrator.start(moves)
+        while migrator.active:
+            await migrator.tick()
+            await push_step()
+
+        # Phase 2: crash a shard; only the heartbeat detector notices.
+        victim = active[0]
+        await supervisor.crash(victim)
+        while not monitor.events:
+            await push_step()
+            await monitor.poll()
+
+        for _ in range(FAILOVER_STEPS):
+            await push_step()
+
+        client = ServiceClient(cluster.connect_loopback())
+        served = await client.subscribe("*")
+        truth_inputs = {item: scenario.traces[item].at(step[0])
+                        for item in item_to_source}
+        audit_passed = all(
+            abs(served[q.name] - q.evaluate(truth_inputs))
+            <= q.qab * (1.0 + 1e-9) + 1e-12
+            for q in scenario.queries)
+        await client.close()
+        for stream in streams.values():
+            stream.close()
+        await cluster.close()
+        return audit_passed
+
+    audit_passed = asyncio.run(body())
+    assert audit_passed
+    completed = [r for r in migrator.records if r["outcome"] == "completed"]
+    assert len(completed) == (migrator.stats["moves_requested"]
+                              - migrator.stats["moves_noop"])
+    assert migrator.stats["moves_abandoned"] == 0
+    assert monitor.events, "auto-failover never detected/recovered"
+    migration_ms = sorted(r["migration_seconds"] * 1e3 for r in completed)
+    detection = sorted(e["detection_to_recovery"] for e in monitor.events)
+    existing["resharding"] = {
+        "shards": 3,
+        "moves_requested": migrator.stats["moves_requested"],
+        "moves_completed": migrator.stats["moves_completed"],
+        "moves_abandoned": migrator.stats["moves_abandoned"],
+        "final_map_epoch": cluster.map_epoch,
+        "migration_ms": latency_percentiles(migration_ms,
+                                            (50.0, 95.0, 99.0)),
+        "detection_to_recovery_steps": latency_percentiles(
+            detection, (50.0, 95.0)),
+        "auto_failovers": monitor.stats["failovers"],
+        "frames_rejected_by_fencing": {
+            "router": cluster.stats["fenced_frames_rejected"],
+            "shards": sum(
+                srv.stats["refreshes_rejected_stale_map_epoch"]
+                for srv in cluster.shards.values()),
+        },
+        "refreshes_frozen": cluster.stats["refreshes_frozen"],
+        "audit_passed": audit_passed,
+    }
+    _store(path, existing)
+    pcts = existing["resharding"]["migration_ms"]
+    rendered = ", ".join(f"{k}={v:.2f}ms" for k, v in sorted(pcts.items()))
+    print(f"\nresharding ({MODE}): {len(completed)} moves ({rendered}), "
+          f"detect->recover p95="
+          f"{existing['resharding']['detection_to_recovery_steps'].get('p95')}"
+          f" steps -> {path}")

@@ -355,11 +355,70 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_journal(args: argparse.Namespace) -> int:
+def _journal_inspect_cluster(args: argparse.Namespace,
+                             shard_dirs) -> int:
+    """Per-shard summary for a cluster journal root (``shard-<i>``
+    subdirectories, as written by ``repro cluster serve --journal``)."""
     import json as _json
 
     from repro.service.journal import Journal, JournalError
 
+    summaries = {}
+    for sid, path in shard_dirs:
+        try:
+            summaries[sid] = Journal(str(path)).describe(last=args.last)
+        except JournalError as error:
+            print(f"error: shard {sid}: {error}", file=sys.stderr)
+            return 1
+    if args.json:
+        print(_json.dumps({"directory": args.directory,
+                           "shards": {str(sid): summary
+                                      for sid, summary in summaries.items()}},
+                          indent=2, sort_keys=True))
+        return 0
+    print(f"cluster journal      {args.directory} "
+          f"({len(summaries)} shards)")
+    header = (f"  {'shard':>5s} {'records':>8s} {'wal_bytes':>10s} "
+              f"{'snapshots':>9s} {'tail':>6s} {'torn':>5s}")
+    print(header)
+    totals = {"records": 0, "wal_bytes": 0, "snapshots": 0, "tail": 0}
+    merged_counts: Dict[str, int] = {}
+    for sid in sorted(summaries):
+        summary = summaries[sid]
+        snaps = len(summary["snapshots"])
+        print(f"  {sid:>5d} {summary['records']:>8d} "
+              f"{summary['wal_bytes']:>10d} {snaps:>9d} "
+              f"{summary['replay_tail_records']:>6d} "
+              f"{summary['torn_tail_bytes']:>5d}")
+        totals["records"] += summary["records"]
+        totals["wal_bytes"] += summary["wal_bytes"]
+        totals["snapshots"] += snaps
+        totals["tail"] += summary["replay_tail_records"]
+        for kind, count in summary["records_by_type"].items():
+            merged_counts[kind] = merged_counts.get(kind, 0) + count
+    print(f"  {'total':>5s} {totals['records']:>8d} "
+          f"{totals['wal_bytes']:>10d} {totals['snapshots']:>9d} "
+          f"{totals['tail']:>6d}")
+    if merged_counts:
+        rendered = ", ".join(f"{kind}={count}" for kind, count
+                             in sorted(merged_counts.items()))
+        print(f"records by type      {rendered}")
+    return 0
+
+
+def cmd_journal(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.service.journal import Journal, JournalError
+
+    root = Path(args.directory)
+    shard_dirs = sorted(
+        (int(path.name.split("-", 1)[1]), path)
+        for path in root.glob("shard-*")
+        if path.is_dir() and path.name.split("-", 1)[1].isdigit())
+    if shard_dirs:
+        return _journal_inspect_cluster(args, shard_dirs)
     journal = Journal(args.directory)
     try:
         summary = journal.describe(last=args.last)
@@ -378,7 +437,8 @@ def cmd_journal(args: argparse.Namespace) -> int:
     if counts:
         # Canonical kinds first (shown even at zero, so the table shape
         # is stable across journals), then anything else the scan found.
-        known = ("refresh", "plan", "aao", "bounds", "qadd", "qdel")
+        known = ("refresh", "plan", "aao", "bounds", "qadd", "qdel",
+                 "adopt")
         kinds = list(known) + sorted(set(counts) - set(known))
         width = max(len(kind) for kind in kinds)
         total = sum(counts.values())
@@ -641,6 +701,23 @@ def cmd_chaos_soak(args: argparse.Namespace) -> int:
               f"{recovery_section['recovery_seconds_max'] * 1000:.1f}ms")
         if rendered:
             print(f"journal append       {rendered}")
+    resharding = report.get("resharding")
+    if resharding:
+        print(f"resharding           {resharding['moves_completed']}/"
+              f"{resharding['moves_requested']} moves "
+              f"(epoch {resharding['final_map_epoch']}, "
+              f"{resharding['refreshes_frozen']} refreshes frozen, "
+              f"fenced {resharding['frames_rejected_by_fencing']})")
+        steps_pct = resharding.get("migration_steps") or {}
+        if steps_pct:
+            rendered = ", ".join(f"{k}={v:.0f}"
+                                 for k, v in sorted(steps_pct.items()))
+            print(f"migration (steps)    {rendered}")
+        d2r = resharding.get("detection_to_recovery_steps") or {}
+        if d2r:
+            rendered = ", ".join(f"{k}={v:.0f}" for k, v in sorted(d2r.items()))
+            print(f"detect→recover       {rendered} over "
+                  f"{resharding['failovers']} auto-failovers")
     if report["final_degraded_queries"]:
         print(f"STILL DEGRADED       {report['final_degraded_queries']}")
     if report.get("output"):
@@ -928,11 +1005,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="soak the live service under injected "
                                "wire faults and audit QAB compliance")
     soak.add_argument("--schedule", default="ci",
-                      choices=["smoke", "ci", "heavy", "restart", "shards"],
+                      choices=["smoke", "ci", "heavy", "restart", "shards",
+                               "reshard"],
                       help="named fault schedule (loss + partition + "
                            "agent crash, increasing intensity; 'restart' "
                            "adds coordinator kill/restore; 'shards' aims "
-                           "the kills at cluster shards)")
+                           "the kills at cluster shards; 'reshard' crashes "
+                           "shards undetected mid-migration and lets the "
+                           "health monitor heal them — needs --shards > 1)")
     soak.add_argument("--shards", type=int, default=1,
                       help="run the soak against an N-shard cluster behind "
                            "the shard router (kills then fail over one "

@@ -144,6 +144,21 @@ class QuantisingCachePlanner:
         self._cache.clear()
         self.stats = CacheStats()
 
+    def forget_query(self, name: str) -> None:
+        """Evict every cached plan for *name* (and its ``name__*`` split
+        derivatives) and forget it downstream.  Needed when the name may
+        be re-registered with a different polynomial or budget: the
+        cache key carries the quantised values but not the qab, so a
+        same-variables/different-budget re-registration would otherwise
+        replay a plan solved for the old budget."""
+        prefix = f"{name}__"
+        for key in [k for k in self._cache
+                    if k[0] == name or str(k[0]).startswith(prefix)]:
+            del self._cache[key]
+        forget = getattr(self.planner, "forget_query", None)
+        if forget is not None:
+            forget(name)
+
     def clear_warm_starts(self) -> None:
         """Drop the inner planner's solver warm starts (fault resync).
 

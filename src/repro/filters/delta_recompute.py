@@ -629,6 +629,17 @@ class DeltaRecomputePlanner:
 
     # -- stack protocol -----------------------------------------------------------
 
+    def forget_query(self, name: str) -> None:
+        """Drop *name*'s anchor state and the inner planner's per-name
+        caches (the query may be re-registered with a different shape)."""
+        prefix = f"{name}__"
+        for key in [k for k in self._states
+                    if k == name or k.startswith(prefix)]:
+            del self._states[key]
+        forget = getattr(self.inner, "forget_query", None)
+        if forget is not None:
+            forget(name)
+
     def clear_warm_starts(self) -> None:
         """Fault resync: drop the inner solver starts *and* the patch
         anchors — a patch from a pre-resync optimum would face arbitrary

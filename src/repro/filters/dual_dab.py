@@ -250,3 +250,15 @@ class DualDABPlanner:
     def clear_warm_starts(self) -> None:
         """Drop cached solver starts (per-query); next solves run cold."""
         self._warm_starts.clear()
+
+    def forget_query(self, name: str) -> None:
+        """Drop every per-name cache for *name* (and the ``name__*``
+        derivatives the split heuristics plan through).  Required when a
+        query is removed and a *different* query may later reuse the
+        name — e.g. live resharding re-adding a re-decomposed sub-query:
+        a stale compiled template or warm start solves the old program
+        shape and misses the new variables."""
+        prefix = f"{name}__"
+        for table in (self._warm_starts, self._templates):
+            for key in [k for k in table if k == name or k.startswith(prefix)]:
+                del table[key]

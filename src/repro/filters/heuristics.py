@@ -101,6 +101,13 @@ class HalfAndHalfPlanner:
         if clear is not None:
             clear()
 
+    def forget_query(self, name: str) -> None:
+        """Forget *name* (and the ``__p1``/``__p2``/``__neg`` splits it
+        plans through) in the base planner's per-name caches."""
+        forget = getattr(self.base, "forget_query", None)
+        if forget is not None:
+            forget(name)
+
 
 class DifferentSumPlanner:
     """Heuristic 2: solve the positive mirror ``P1 + P2 : B`` as one PPQ."""
@@ -120,6 +127,11 @@ class DifferentSumPlanner:
         clear = getattr(self.base, "clear_warm_starts", None)
         if clear is not None:
             clear()
+
+    def forget_query(self, name: str) -> None:
+        forget = getattr(self.base, "forget_query", None)
+        if forget is not None:
+            forget(name)
 
 
 def dispatch_planner(cost_model: CostModel, *, dual: bool = True,

@@ -161,6 +161,45 @@ class BankDecomposition:
             object.__setattr__(self, "__needed_sets", cache)
         return cache
 
+    def queries_reading(self, item: str) -> Tuple[str, ...]:
+        """Names of every query whose variables include *item*."""
+        return tuple(sorted(
+            name for name, dec in self.decompositions.items()
+            if item in dec.query.variables
+        ))
+
+    def replace(self, updated: Mapping[str, QueryDecomposition]
+                ) -> "BankDecomposition":
+        """A new bank decomposition with *updated* queries swapped in.
+
+        The live-resharding cutover path: after an item moves, only the
+        queries reading it are re-decomposed under the new map — every
+        other query's decomposition object is carried over untouched
+        (minimal movement at the bank level, mirroring
+        :meth:`ShardMap.rebalance` at the item level).  Indices are
+        rebuilt from the merged decomposition set with plain dict work,
+        no solves.
+        """
+        unknown = sorted(set(updated) - set(self.decompositions))
+        if unknown:
+            raise SimulationError(
+                f"cannot replace unknown queries: {unknown}")
+        decompositions = dict(self.decompositions)
+        decompositions.update(updated)
+        per_shard: Dict[int, List[PolynomialQuery]] = {}
+        needed: Dict[int, set] = {}
+        for dec in decompositions.values():
+            for shard, sub in dec.sub_queries.items():
+                per_shard.setdefault(shard, []).append(sub)
+                needed.setdefault(shard, set()).update(sub.variables)
+        return BankDecomposition(
+            decompositions=decompositions,
+            sub_queries_for={shard: tuple(bank)
+                             for shard, bank in sorted(per_shard.items())},
+            items_needed={shard: tuple(sorted(items))
+                          for shard, items in sorted(needed.items())},
+        )
+
 
 def decompose_bank(queries: Sequence[PolynomialQuery],
                    shard_of: ShardOf) -> BankDecomposition:

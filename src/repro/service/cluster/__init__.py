@@ -21,6 +21,14 @@ contract intact end to end:
 * :mod:`repro.service.cluster.supervisor` — journal-backed shard
   failover: kill a shard, restore it from its own WAL/snapshot, and
   force sources to resync through the existing probe path;
+* :mod:`repro.service.cluster.health` — the heartbeat failure detector
+  (:class:`ShardHealthMonitor`): deadline + miss-count suspicion over
+  the shard trunks, honest degraded bounds while suspect, automatic
+  journal-restore failover with no operator in the loop;
+* :mod:`repro.service.cluster.migration` — epoch-fenced live
+  resharding (:class:`ShardMigrator`): freeze → hand-off → cutover per
+  item, with the map epoch stamped on routed frames so a lagging shard
+  can never double-own an item;
 * :mod:`repro.service.cluster.loadgen` — the cluster load generator
   behind ``repro cluster loadgen`` (end-to-end QAB audit over the
   recombined values).
@@ -41,6 +49,8 @@ __all__ = [
     "NotifyBroker",
     "BrokerTier",
     "ShardSupervisor",
+    "ShardHealthMonitor",
+    "ShardMigrator",
     "run_cluster_loadgen",
 ]
 
@@ -51,6 +61,8 @@ _LAZY = {
     "NotifyBroker": ("repro.service.cluster.broker", "NotifyBroker"),
     "BrokerTier": ("repro.service.cluster.broker", "BrokerTier"),
     "ShardSupervisor": ("repro.service.cluster.supervisor", "ShardSupervisor"),
+    "ShardHealthMonitor": ("repro.service.cluster.health", "ShardHealthMonitor"),
+    "ShardMigrator": ("repro.service.cluster.migration", "ShardMigrator"),
     "run_cluster_loadgen": ("repro.service.cluster.loadgen",
                             "run_cluster_loadgen"),
 }

@@ -1,0 +1,322 @@
+"""Epoch-fenced live resharding: move items between shards, online.
+
+The :class:`ShardMigrator` runs the per-item migration protocol on top
+of the router's freeze/fence primitives.  Each item move is a two-tick
+state machine — deliberately split across a step boundary so audits and
+fault injection see the mid-flight state:
+
+``FREEZE`` tick
+    * the router freezes the item: refreshes for it are buffered, not
+      routed (a frame can never race the hand-off);
+    * every query reading the item is flagged *migration-degraded*
+      (honest widened bound — answers over in-flight items are never
+      silently stale);
+    * the item's value, owning source and accepted-seq high-water mark
+      are read from the current owner and *adopted* by the target shard
+      (a journaled hand-off: a replayed target restores the same dedup
+      floor it was handed);
+    * the ``B/k`` decompositions of the affected cross-shard queries
+      are recomputed under the post-move map and the live shards' banks
+      are edited in place (remove departing sub-queries, add arriving
+      ones) — every sub-budget still sums to ``B``, so recombined error
+      stays inside the query's bound throughout.
+
+``CUTOVER`` tick
+    * the router atomically installs the new :class:`ShardMap` — the
+      map epoch bumps, and from here every routed refresh is stamped
+      with the new epoch while both router and shards reject
+      stale-epoch frames (a lagging shard can never double-own the
+      item);
+    * live shards learn the new epoch, fresh upstream registrations are
+      opened where the move created new (shard, source) needs, stale
+      DAB votes from ex-readers are dropped, the buffered refreshes are
+      flushed under the new map, and the degraded flags clear.
+
+A move whose endpoints are dead is *deferred* (requeued) rather than
+attempted — the health monitor's failover brings the shard back, the
+migrator retries on a later tick, and a permanently-missing shard
+abandons the move after :data:`MAX_DEFERRALS` with an explicit record
+instead of wedging the queue.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Any, Callable, Dict, List, Mapping, Optional, Set
+
+from repro.exceptions import ReproError, SimulationError
+from repro.filters.shard_budget import decompose_query
+from repro.service.cluster.router import ClusterCoordinator
+
+#: Honest widening applied to a query while one of its items is
+#: mid-flight: the recombined answer may briefly mix pre- and post-move
+#: partials, so the served bound doubles (same shape as the suspect
+#: widening — a flagged, conservative envelope, never silent staleness).
+MIGRATION_WIDEN_FACTOR = 2.0
+
+#: A move both of whose endpoints stay dead is requeued this many times
+#: before it is abandoned with an explicit record.
+MAX_DEFERRALS = 64
+
+
+class ShardMigrator:
+    """Tick-driven, resumable item-migration state machine."""
+
+    def __init__(self, cluster: ClusterCoordinator,
+                 clock: Optional[Callable[[], float]] = None,
+                 wall_clock: Callable[[], float] = _time.perf_counter):
+        self.cluster = cluster
+        self.clock = clock if clock is not None else cluster.clock
+        self.wall_clock = wall_clock
+        #: moves not yet started: (item, target, deferrals), FIFO.
+        self._queue: List[List[Any]] = []
+        #: the in-flight move (None between items).
+        self._current: Optional[Dict[str, Any]] = None
+        #: completed / abandoned move records, in completion order.
+        self.records: List[Dict[str, Any]] = []
+        self.stats: Dict[str, int] = {
+            "moves_requested": 0,
+            "moves_completed": 0,
+            "moves_abandoned": 0,
+            "moves_noop": 0,
+            "deferrals": 0,
+            "ticks": 0,
+        }
+
+    # -- queueing -----------------------------------------------------------------
+
+    def start(self, moves: Mapping[str, int]) -> int:
+        """Queue *moves* (item -> target shard); returns how many were
+        queued.  Moves to the item's current owner are dropped as no-ops
+        (minimal movement starts here); unknown items or out-of-range
+        targets are rejected up front."""
+        queued = 0
+        for item in sorted(moves):
+            target = int(moves[item])
+            if item not in self.cluster._item_shards:
+                raise ReproError(f"cannot migrate unknown item {item!r}")
+            if not 0 <= target < self.cluster.shard_map.shards:
+                raise ReproError(
+                    f"cannot migrate {item!r} to shard {target}: map has "
+                    f"{self.cluster.shard_map.shards} shards")
+            self.stats["moves_requested"] += 1
+            if self.cluster.shard_map.shard_of(item) == target:
+                self.stats["moves_noop"] += 1
+                continue
+            self._queue.append([item, target, 0])
+            queued += 1
+        return queued
+
+    @property
+    def active(self) -> bool:
+        return self._current is not None or bool(self._queue)
+
+    # -- liveness helpers ---------------------------------------------------------
+
+    def _is_live(self, sid: int) -> bool:
+        server = self.cluster.shards.get(sid)
+        if server is None:
+            return False
+        if getattr(server, "closed", False):
+            return False
+        supervisor = self.cluster.supervisor
+        if supervisor is not None and supervisor.is_down(sid):
+            return False
+        return True
+
+    def _defer(self, item: str, target: int, deferrals: int,
+               reason: str) -> None:
+        self.stats["deferrals"] += 1
+        if deferrals + 1 >= MAX_DEFERRALS:
+            self.stats["moves_abandoned"] += 1
+            self.records.append({
+                "item": item, "to": target, "outcome": "abandoned",
+                "reason": reason, "deferrals": deferrals + 1,
+            })
+            return
+        self._queue.append([item, target, deferrals + 1])
+
+    # -- the state machine --------------------------------------------------------
+
+    async def tick(self) -> Optional[Dict[str, Any]]:
+        """Advance the migration by one phase.  Returns the completed
+        move record when this tick was a cutover, else ``None``.
+
+        One phase per tick is deliberate: the freeze → cutover window
+        spans a step boundary, so the chaos soak can kill a shard *mid-
+        migration* and audits observe the frozen/degraded state."""
+        self.stats["ticks"] += 1
+        if self._current is not None:
+            return await self._cutover()
+        # A deferred move re-joins the queue tail; bounding the scan to
+        # the tick's starting length makes "everything deferred" cost
+        # one pass, not a 64-deferral spin inside a single tick.
+        for _ in range(len(self._queue)):
+            if not self._queue:
+                break
+            item, target, deferrals = self._queue.pop(0)
+            if self.cluster.shard_map.shard_of(item) == target:
+                self.stats["moves_noop"] += 1
+                continue
+            if await self._freeze(item, target, deferrals):
+                return None
+        return None
+
+    async def _freeze(self, item: str, target: int, deferrals: int) -> bool:
+        """Phase 1 for one item; returns True when the item is now
+        frozen mid-flight (False = deferred, try the next queued move)."""
+        cluster = self.cluster
+        owner = cluster.shard_map.shard_of(item)
+        if not self._is_live(owner):
+            self._defer(item, target, deferrals, f"owner shard {owner} down")
+            return False
+        if not self._is_live(target):
+            self._defer(item, target, deferrals, f"target shard {target} down")
+            return False
+
+        started_wall = self.wall_clock()
+        started_at = self.clock()
+        owner_server = cluster.shards[owner]
+        value = owner_server.core.cache.get(item)
+        if value is None:
+            # The owner never saw the item (possible right after its own
+            # journal restore); any live reader's mirror is as good.
+            for sid in cluster._item_shards.get(item, ()):
+                if self._is_live(sid):
+                    mirror = cluster.shards[sid].core.cache.get(item)
+                    if mirror is not None:
+                        value = mirror
+                        break
+        if value is None:
+            self._defer(item, target, deferrals, "no live copy of the value")
+            return False
+        seq_floor = owner_server.last_seq.get(item, 0)
+        source_id = cluster.item_to_source.get(item)
+
+        new_map = cluster.shard_map.rebalance({item: target})
+        affected = cluster.decomposition.queries_reading(item)
+        updated = {
+            name: decompose_query(cluster.decomposition.decompositions[name].query,
+                                  new_map.shard_of)
+            for name in affected
+        }
+
+        # Refuse a move that would have to strip the last query off a
+        # live shard mid-edit (the coordinator core needs >= 1 query);
+        # such moves complete once the rest of the bank rebalances.
+        for name in affected:
+            old_dec = cluster.decomposition.decompositions[name]
+            for sid, old_sub in old_dec.sub_queries.items():
+                if not self._is_live(sid):
+                    continue
+                if old_sub == updated[name].sub_queries.get(sid):
+                    continue
+                if len(cluster.shards[sid].core.queries) == 1:
+                    self._defer(item, target, deferrals,
+                                f"move would empty shard {sid}'s bank")
+                    return False
+
+        # From here the move commits: freeze first so no refresh can
+        # slip between the value read above and the hand-off below.
+        cluster.freeze_item(item)
+        cluster.set_migration_degraded({
+            name: updated[name].query.qab * MIGRATION_WIDEN_FACTOR
+            for name in affected
+        })
+
+        # Hand the item to its new owner, then edit the live banks to
+        # match the post-move decomposition (sub-budgets always sum to
+        # the query's B — soundness holds through the whole window).
+        edited: Set[int] = set()
+        for name in affected:
+            old_dec = cluster.decomposition.decompositions[name]
+            new_dec = updated[name]
+            for sid in sorted(set(old_dec.sub_queries) | set(new_dec.sub_queries)):
+                if not self._is_live(sid):
+                    continue
+                old_sub = old_dec.sub_queries.get(sid)
+                new_sub = new_dec.sub_queries.get(sid)
+                if old_sub == new_sub:
+                    continue
+                server = cluster.shards[sid]
+                if old_sub is not None:
+                    server.core.remove_query(name)
+                if new_sub is not None:
+                    for needed in new_sub.variables:
+                        if needed in server.core.cache:
+                            continue
+                        held = cluster.item_to_source.get(needed)
+                        floor = (owner_server.last_seq.get(needed, 0)
+                                 if needed == item else
+                                 cluster._seq_floors.get(needed, 0))
+                        donor = value if needed == item else None
+                        if donor is None:
+                            for other in cluster._item_shards.get(needed, ()):
+                                if self._is_live(other):
+                                    donor = cluster.shards[other].core.cache.get(needed)
+                                    if donor is not None:
+                                        break
+                        server.adopt_item(needed, float(donor or 0.0),
+                                          source_id=held, seq_floor=floor)
+                    server.core.add_query(new_sub)
+                edited.add(sid)
+
+        self._current = {
+            "item": item, "from": owner, "to": target,
+            "new_map": new_map, "updated": updated,
+            "affected": list(affected), "edited_shards": sorted(edited),
+            "deferrals": deferrals,
+            "started_at": started_at, "started_wall": started_wall,
+        }
+        return True
+
+    async def _cutover(self) -> Dict[str, Any]:
+        """Phase 2: install the new map, fence, flush, unflag."""
+        cluster = self.cluster
+        state = self._current
+        assert state is not None
+        item = state["item"]
+        new_map = state["new_map"]
+
+        cluster.apply_cutover(new_map, state["updated"])
+        for sid in sorted(cluster.shards):
+            if self._is_live(sid):
+                cluster.shards[sid].advance_map_epoch(new_map.epoch)
+
+        # The move may have created brand-new (shard, source) needs, or
+        # extended existing registrations; re-open the impersonated
+        # streams for every shard whose bank was edited (replacement is
+        # idempotent — _open_upstream tears down the old pair stream).
+        for sid in state["edited_shards"]:
+            if not self._is_live(sid):
+                continue
+            for source_id, items in sorted(
+                    cluster._sources_for_shard(sid).items()):
+                await cluster._open_upstream(sid, source_id, items)
+
+        cluster.drop_stale_votes(item)
+        flushed = await cluster.unfreeze_item(item)
+        cluster.clear_migration_degraded(state["affected"])
+
+        self._current = None
+        self.stats["moves_completed"] += 1
+        record = {
+            "item": item, "from": state["from"], "to": state["to"],
+            "outcome": "completed",
+            "epoch": new_map.epoch,
+            "queries": list(state["affected"]),
+            "deferrals": state["deferrals"],
+            "flushed_refreshes": flushed,
+            "migration_steps": self.clock() - state["started_at"],
+            "migration_seconds": self.wall_clock() - state["started_wall"],
+        }
+        self.records.append(record)
+        return record
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        return {
+            **self.stats,
+            "queued": len(self._queue),
+            "in_flight": (self._current or {}).get("item"),
+            "records": [dict(record) for record in self.records],
+        }

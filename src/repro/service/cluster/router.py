@@ -83,6 +83,17 @@ SNAPSHOT_GATHER_TIMEOUT = 5.0
 #: subscriptions (brokers' upstreams) on the wire.
 SHARD_TRUNK_QUEUE_LIMIT = TRUNK_QUEUE_LIMIT
 
+#: How much a *suspected* (unresponsive, not yet failed-over) shard's
+#: ``B/k`` sub-budget is widened in the merged degraded map.  While a
+#: shard is silent the router cannot see its widened lease bounds, so it
+#: substitutes this documented heuristic — the same honesty contract as
+#: the lease machinery's drift widening: served answers carry a bound
+#: the cluster can actually promise, never silent staleness.  The soak
+#: audit excuses flagged queries whatever the factor; 2.0 mirrors the
+#: one-missed-refresh-per-item worst case the failure detector's
+#: deadline tolerates before firing.
+SUSPECT_WIDEN_FACTOR = 2.0
+
 
 class ClusterCoordinator:
     """Route sources and subscribers across coordinator shards."""
@@ -150,6 +161,25 @@ class ClusterCoordinator:
         self._shard_degraded: Dict[int, Dict[str, float]] = {}
         self._last_degraded_keys: frozenset = frozenset()
 
+        # health / resharding state
+        #: sid -> clock() of the last frame seen on the shard's trunk
+        #: (or probe reply); the failure detector's only evidence.
+        self.shard_last_seen: Dict[int, float] = {}
+        #: shards the health monitor currently suspects: every query
+        #: they home is served degraded (widened honest bounds) until
+        #: failover completes and the trunk shows life again.
+        self._suspect_shards: Set[int] = set()
+        #: item -> refresh frames buffered while the item migrates
+        #: between shards; flushed (re-routed under the new map) at
+        #: cutover.
+        self._frozen_items: Dict[str, List[Dict[str, Any]]] = {}
+        #: query -> widened bound while one of its items is mid-flight.
+        self._migration_degraded: Dict[str, float] = {}
+        #: set by ShardSupervisor / ShardHealthMonitor when attached, so
+        #: server_stats can surface their bounded histories.
+        self.supervisor: Optional[Any] = None
+        self.health: Optional[Any] = None
+
         # downstream plumbing (real sources and subscribers)
         self._source_streams: Dict[int, MessageStream] = {}
         self._subscribers: Dict[int, _Subscriber] = {}
@@ -187,6 +217,8 @@ class ClusterCoordinator:
             "shard_resubscribes": 0,
             "snapshot_gathers": 0,
             "snapshot_gather_fallbacks": 0,
+            "fenced_frames_rejected": 0,
+            "refreshes_frozen": 0,
         }
         self._closing = False
 
@@ -211,6 +243,32 @@ class ClusterCoordinator:
     def _degraded_keys(self) -> frozenset:
         return frozenset(self._merged_degraded())
 
+    @property
+    def map_epoch(self) -> int:
+        """The cluster's current shard-map epoch (0 until a reshard)."""
+        return self.shard_map.epoch
+
+    # -- health / suspicion -------------------------------------------------------
+
+    def mark_shard_suspect(self, sid: int) -> None:
+        """Failure-detector verdict: until *sid* shows life again, every
+        query it homes is served with an honestly widened bound (pushed
+        to subscribers immediately) rather than silently stale."""
+        if sid in self._suspect_shards:
+            return
+        self._suspect_shards.add(sid)
+        self._fanout_notifications([], None)
+
+    def clear_shard_suspect(self, sid: int) -> None:
+        if sid not in self._suspect_shards:
+            return
+        self._suspect_shards.discard(sid)
+        self._fanout_notifications([], None)
+
+    @property
+    def suspect_shards(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._suspect_shards))
+
     # -- lifecycle ----------------------------------------------------------------
 
     async def start(self) -> None:
@@ -233,30 +291,51 @@ class ClusterCoordinator:
         return by_source
 
     async def _attach_shard(self, sid: int) -> None:
-        server = self.shards[sid]
         for source_id, items in sorted(self._sources_for_shard(sid).items()):
-            stream = server.connect_loopback()
-            await stream.send(protocol.register_source(source_id, items))
-            reply = await stream.receive()
-            if reply is not None:
-                try:
-                    kind = protocol.validate_message(reply)
-                except ProtocolError:
-                    kind = None
-                if kind is MessageType.DAB_UPDATE:
-                    changed = self._merge_shard_bounds(sid, reply)
-                    await self._push_changed_bounds(changed)
-            key = (sid, source_id)
-            self._up_streams[key] = stream
-            self._up_tasks[key] = asyncio.ensure_future(
-                self._upstream_listener(sid, source_id, stream))
+            await self._open_upstream(sid, source_id, items)
         await self._subscribe_shard(sid)
+        self.shard_last_seen[sid] = self.clock()
+
+    async def _open_upstream(self, sid: int, source_id: int,
+                             items: Sequence[str]) -> None:
+        """Open (or replace) the impersonated source stream for one
+        (shard, source) pair and register the given item list on it.
+        The registration reply's DAB_UPDATE is min-merged like any
+        other; a previous stream for the pair (an item migration
+        extending the list) is torn down first."""
+        server = self.shards[sid]
+        stream = server.connect_loopback()
+        await stream.send(protocol.register_source(source_id, sorted(items)))
+        reply = await stream.receive()
+        if reply is not None:
+            try:
+                kind = protocol.validate_message(reply)
+            except ProtocolError:
+                kind = None
+            if kind is MessageType.DAB_UPDATE:
+                changed = self._merge_shard_bounds(sid, reply)
+                await self._push_changed_bounds(changed)
+        key = (sid, source_id)
+        old_task = self._up_tasks.pop(key, None)
+        old_stream = self._up_streams.pop(key, None)
+        if old_stream is not None:
+            old_stream.close()
+        if old_task is not None:
+            old_task.cancel()
+        self._up_streams[key] = stream
+        self._up_tasks[key] = asyncio.ensure_future(
+            self._upstream_listener(sid, source_id, stream))
 
     async def _subscribe_shard(self, sid: int) -> None:
         """Open (or re-open) the wildcard aggregation subscription to one
         shard; the initial SNAPSHOT reply re-seeds the partial table, so
         a re-subscribe after a trunk drop also heals partial staleness."""
         server = self.shards[sid]
+        if getattr(server, "closed", False):
+            # A crashed shard refuses connections; retrying here would
+            # spin listener-death → resubscribe forever.  The trunk is
+            # rebuilt when the health monitor fails the shard over.
+            raise TransportClosed(f"shard {sid} is closed")
         sub = server.connect_loopback()
         await sub.send(protocol.query_sub("*", trunk=True))
         first = await sub.receive()
@@ -304,6 +383,11 @@ class ClusterCoordinator:
         probe answers by seq, harmlessly."""
         await self._detach_shard(sid)
         self.shards[sid] = server
+        if self.map_epoch:
+            # A shard restored from a pre-reshard snapshot/journal must
+            # fence incoming frames against the *current* map, not the
+            # one it died under.
+            server.advance_map_epoch(self.map_epoch)
         self.stats["shard_reattachments"] += 1
         await self._attach_shard(sid)
         for source_id, items in sorted(self._sources_for_shard(sid).items()):
@@ -532,6 +616,23 @@ class ClusterCoordinator:
                     kind = protocol.validate_message(message)
                 except ProtocolError:
                     break
+                # Any valid frame on the trunk is proof of life — the
+                # failure detector's deadline is measured against this.
+                self.shard_last_seen[sid] = self.clock()
+                frame_epoch = message.get("map_epoch")
+                if self.map_epoch and (frame_epoch or 0) < self.map_epoch:
+                    # Epoch fence: a frame computed under an older shard
+                    # map (queued on the trunk before a cutover, or from
+                    # a shard that missed the bump).  Its partials could
+                    # resurrect a migrated-away item's contribution, so
+                    # the whole frame is dropped; fresh post-cutover
+                    # notifies and snapshot gathers carry the truth.
+                    self.stats["fenced_frames_rejected"] += 1
+                    if kind is MessageType.SNAPSHOT:
+                        # Resolve the gather's waiter with "no answer"
+                        # instead of letting it ride the 5s timeout.
+                        self._resolve_snapshot(sid, None)
+                    continue
                 if kind is MessageType.NOTIFY:
                     frame_sid = message.get("shard")
                     if frame_sid is not None and int(frame_sid) != sid:
@@ -576,7 +677,8 @@ class ClusterCoordinator:
             # reattach_shard rebuilds the trunk when it returns.
             pass
 
-    def _resolve_snapshot(self, sid: int, message: Dict[str, Any]) -> None:
+    def _resolve_snapshot(self, sid: int,
+                          message: Optional[Dict[str, Any]]) -> None:
         waiters = self._snapshot_waiters.get(sid)
         if waiters:
             waiter = waiters.pop(0)
@@ -597,20 +699,31 @@ class ClusterCoordinator:
                                      for name, bound in degraded.items()}
 
     def _merged_degraded(self) -> Dict[str, float]:
-        """A query is degraded iff any home shard flags it; the honest
-        total bound sums each home shard's contribution — its widened
-        bound when flagged, its full ``B/k`` sub-budget otherwise."""
+        """A query is degraded iff any home shard flags it — or is
+        *suspected* by the failure detector, or holds an item mid-
+        migration.  The honest total bound sums each home shard's
+        contribution: its widened lease bound when flagged, its ``B/k``
+        sub-budget times :data:`SUSPECT_WIDEN_FACTOR` while suspected
+        (the shard is silent, so its own widening is unobservable), and
+        its full ``B/k`` otherwise."""
         merged: Dict[str, float] = {}
+        suspects = self._suspect_shards
         for name, home in self._home_shards.items():
             flagged = [sid for sid in home
-                       if name in self._shard_degraded.get(sid, {})]
+                       if sid in suspects
+                       or name in self._shard_degraded.get(sid, {})]
             if not flagged:
                 continue
             total = 0.0
             for sid in home:
+                if sid in suspects:
+                    total += self._sub_qab[name][sid] * SUSPECT_WIDEN_FACTOR
+                    continue
                 shard_map = self._shard_degraded.get(sid, {})
                 total += shard_map.get(name, self._sub_qab[name][sid])
             merged[name] = total
+        for name, bound in self._migration_degraded.items():
+            merged[name] = max(merged.get(name, 0.0), bound)
         return merged
 
     def _recombined_value(self, name: str) -> Optional[float]:
@@ -817,14 +930,36 @@ class ClusterCoordinator:
 
     async def _on_refresh(self, message: Dict[str, Any]) -> None:
         item = message["item"]
-        shards = self._item_shards.get(item)
-        if shards is None:
-            self.stats["refreshes_unroutable"] += 1
-            return
-        self.stats["refreshes_accepted"] += 1
         seq = int(message["seq"])
         if seq > self._seq_floors.get(item, 0):
             self._seq_floors[item] = seq
+        if item in self._frozen_items:
+            # Mid-migration: buffer instead of routing — neither the old
+            # nor the new owner may apply this value until the hand-off
+            # commits (double-ownership would break the B/k budgets).
+            # Flushed under the new map at cutover.
+            self._frozen_items[item].append(dict(message))
+            self.stats["refreshes_frozen"] += 1
+            self.stats["refreshes_accepted"] += 1
+            return
+        if item not in self._item_shards:
+            self.stats["refreshes_unroutable"] += 1
+            return
+        self.stats["refreshes_accepted"] += 1
+        await self._route_refresh(message)
+
+    async def _route_refresh(self, message: Dict[str, Any]) -> None:
+        item = message["item"]
+        shards = self._item_shards.get(item)
+        if shards is None:
+            return
+        if self.map_epoch:
+            # Stamp the current map epoch so shards fence stale routes;
+            # a copy keeps the caller's frame pristine.  Pre-reshard
+            # (epoch 0) frames are forwarded verbatim — byte-identical
+            # to the non-resharding cluster.
+            message = dict(message)
+            message["map_epoch"] = self.map_epoch
         source_id = self.item_to_source.get(item)
         for sid in shards:
             stream = self._up_streams.get((sid, source_id))
@@ -841,6 +976,79 @@ class ClusterCoordinator:
                 continue
             if await self._safe_send(stream, message):
                 self.stats["heartbeats_forwarded"] += 1
+
+    # -- resharding support (driven by cluster.migration.ShardMigrator) -----------
+
+    def freeze_item(self, item: str) -> None:
+        """Start buffering *item*'s refreshes (migration in progress)."""
+        self._frozen_items.setdefault(item, [])
+
+    async def unfreeze_item(self, item: str) -> int:
+        """Stop buffering and flush: every buffered refresh is routed
+        under the *current* (post-cutover) map and epoch.  Returns the
+        number of flushed frames."""
+        buffered = self._frozen_items.pop(item, [])
+        for frame in buffered:
+            await self._route_refresh(frame)
+        return len(buffered)
+
+    def set_migration_degraded(self, bounds: Mapping[str, float]) -> None:
+        """Flag queries whose items are mid-flight (widened bounds are
+        pushed to subscribers immediately — degraded, never silent)."""
+        if not bounds:
+            return
+        self._migration_degraded.update(
+            {str(name): float(bound) for name, bound in bounds.items()})
+        self._fanout_notifications([], None)
+
+    def clear_migration_degraded(self, names: Sequence[str]) -> None:
+        cleared = False
+        for name in names:
+            if self._migration_degraded.pop(name, None) is not None:
+                cleared = True
+        if cleared:
+            self._fanout_notifications([], None)
+
+    def apply_cutover(self, new_map: ShardMap,
+                      updated: Mapping[str, Any]) -> None:
+        """Commit one migration step's routing flip: adopt the new shard
+        map (bumping :attr:`map_epoch`), swap the re-decomposed queries
+        into the bank decomposition, and rebuild the routing tables that
+        depend on them.  Pure dict work — no solves, no I/O."""
+        self.shard_map = new_map
+        self.decomposition = self.decomposition.replace(updated)
+        for name, dec in updated.items():
+            self._home_shards[name] = dec.home_shards
+            self._sub_qab[name] = {sid: dec.sub_qab(sid)
+                                   for sid in dec.home_shards}
+            partials = self._partials.get(name)
+            if partials:
+                # An ex-home shard's last partial must not survive into
+                # recombination under the new homes.
+                for sid in [s for s in partials if s not in dec.sub_queries]:
+                    del partials[sid]
+        item_shards: Dict[str, List[int]] = {}
+        for sid, items in self.decomposition.items_needed.items():
+            for item in items:
+                item_shards.setdefault(item, []).append(sid)
+        self._item_shards = {item: tuple(sorted(sids))
+                             for item, sids in item_shards.items()}
+
+    def drop_stale_votes(self, item: str) -> None:
+        """Forget DAB votes from shards that no longer read *item*.
+
+        A leftover vote keeps the min-merge artificially tight — sound
+        (sources just filter harder than needed) but it would never be
+        refreshed, so the effective bound could stay pinned to a dead
+        sub-query's plan forever."""
+        keep = set(self._item_shards.get(item, ()))
+        votes = self._shard_bounds.get(item)
+        if not votes:
+            return
+        for sid in [s for s in votes if s not in keep]:
+            del votes[sid]
+        if not votes:
+            self._shard_bounds.pop(item, None)
 
     async def _on_query_sub(self, stream: MessageStream,
                             message: Dict[str, Any]) -> _Subscriber:
@@ -952,6 +1160,16 @@ class ClusterCoordinator:
         if self.lease_duration is not None:
             stats["suspect_items"] = len(self.suspect_since)
             stats["degraded_queries"] = len(self._last_degraded_keys)
+        if self.map_epoch:
+            stats["map_epoch"] = self.map_epoch
+        if self._suspect_shards:
+            stats["suspect_shards"] = sorted(self._suspect_shards)
+        if self._frozen_items:
+            stats["frozen_items"] = sorted(self._frozen_items)
+        if self.supervisor is not None:
+            stats["failover"] = self.supervisor.stats()
+        if self.health is not None:
+            stats["health"] = self.health.stats_snapshot()
         return stats
 
 

@@ -8,12 +8,19 @@ shard owns an item without exchanging state.  Python's builtin
 keyed on ``zlib.crc32`` over the UTF-8 item name instead — stable by
 specification, cheap, and well mixed for the short symbol-like item
 names the scenario generators produce.
+
+Live resharding layers a sparse override table on top of the stable
+hash: ``rebalance()`` returns a new map whose explicitly moved items
+point at their new owners while every other item keeps its CRC32 home
+bit-for-bit.  Each rebalance bumps the map *epoch* — the fencing token
+stamped on routed frames so a shard holding a stale map can never
+accept traffic for an item it no longer owns.
 """
 
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 
 def stable_shard(item: str, shards: int) -> int:
@@ -26,23 +33,62 @@ def stable_shard(item: str, shards: int) -> int:
 
 
 class ShardMap:
-    """A fixed-size cluster's item → shard assignment.
+    """A cluster's item → shard assignment: stable hash + sparse overrides.
 
-    Thin and immutable on purpose: resharding is out of scope (the
-    cluster is built for a fixed N), so the map is pure arithmetic and
-    can be reconstructed anywhere from the shard count alone.
+    Immutable on purpose: ``rebalance()`` returns a *new* map at the
+    next epoch rather than mutating in place, so an in-flight migration
+    can hold both the old and new assignment side by side and every
+    routed frame can be fenced against exactly one epoch.  A map with
+    no overrides is pure arithmetic and can be reconstructed anywhere
+    from the shard count alone.
     """
 
-    def __init__(self, shards: int) -> None:
+    def __init__(self, shards: int,
+                 overrides: Optional[Mapping[str, int]] = None,
+                 epoch: int = 0) -> None:
         if shards <= 0:
             raise ValueError("shard count must be positive")
         self.shards = int(shards)
+        self.epoch = int(epoch)
+        self.overrides: Dict[str, int] = {}
+        for item, shard in (overrides or {}).items():
+            shard = int(shard)
+            if not 0 <= shard < self.shards:
+                raise ValueError(
+                    f"override for {item!r} targets shard {shard}, but the "
+                    f"cluster has shards 0..{self.shards - 1}")
+            # Overrides equal to the stable hash are redundant — prune
+            # them so maps that round-trip through rebalance() compare
+            # equal to maps built directly.
+            if shard != stable_shard(item, self.shards):
+                self.overrides[item] = shard
 
     def shard_of(self, item: str) -> int:
+        override = self.overrides.get(item)
+        if override is not None:
+            return override
         return stable_shard(item, self.shards)
 
     def __call__(self, item: str) -> int:
         return self.shard_of(item)
+
+    def rebalance(self, moves: Mapping[str, int]) -> "ShardMap":
+        """A new map at ``epoch + 1`` with *moves* applied.
+
+        Minimal movement by construction: only the items named in
+        *moves* change owner; every other item's assignment (stable
+        hash or prior override) is carried over untouched.  Moving an
+        item back to its stable home simply drops its override.
+        """
+        merged = dict(self.overrides)
+        for item, shard in moves.items():
+            shard = int(shard)
+            if not 0 <= shard < self.shards:
+                raise ValueError(
+                    f"cannot move {item!r} to shard {shard}: the cluster "
+                    f"has shards 0..{self.shards - 1}")
+            merged[item] = shard
+        return ShardMap(self.shards, overrides=merged, epoch=self.epoch + 1)
 
     def partition(self, items: Iterable[str]) -> Dict[int, List[str]]:
         """Group *items* by owning shard (shards with no items omitted)."""
@@ -56,4 +102,5 @@ class ShardMap:
         return tuple(sorted({self.shard_of(item) for item in items}))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"ShardMap(shards={self.shards})"
+        return (f"ShardMap(shards={self.shards}, epoch={self.epoch}, "
+                f"overrides={len(self.overrides)})")

@@ -10,15 +10,32 @@ router.  Re-attachment forces a probe sweep toward the real sources so
 refreshes routed while the shard was dead — lost from its view, already
 applied everywhere else — are healed by resync refreshes with bumped
 sequence numbers, which the surviving shards dedup harmlessly.
+
+Two kill flavours model two failure shapes:
+
+* :meth:`kill` — a *detected* crash: the router's plumbing for the
+  shard is detached immediately (the operator-driven PR-9 path).
+* :meth:`crash` — an *undetected* crash: the server dies (refusing all
+  further connections) but the router's streams are left pointing at
+  the corpse.  This is what a real process death looks like before any
+  failure detector notices; the cluster's
+  :class:`~repro.service.cluster.health.ShardHealthMonitor` exists to
+  turn this into a :meth:`fail_over` with no operator in the loop.
 """
 
 from __future__ import annotations
 
 import time as _time
-from typing import Any, Callable, Dict, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Set
 
 from repro.exceptions import ReproError
 from repro.service.cluster.router import ClusterCoordinator
+
+#: How many recovery records the supervisor retains.  The full history
+#: of a long-lived cluster is unbounded; dashboards read the bounded
+#: tail through ``server_stats()["failover"]`` instead.
+RECOVERY_HISTORY_LIMIT = 64
 
 
 class ShardSupervisor:
@@ -35,7 +52,20 @@ class ShardSupervisor:
         #: wall time for recovery-latency measurement (the cluster clock
         #: may be a logical step clock under the chaos soak).
         self.wall_clock = wall_clock
-        self.recoveries: list = []
+        #: Bounded recovery history (newest last); totals live in
+        #: :meth:`stats` so nothing is lost when old records roll off.
+        self.recoveries: Deque[Dict[str, Any]] = deque(
+            maxlen=RECOVERY_HISTORY_LIMIT)
+        #: Shards currently down (killed or crashed, not yet restored).
+        self._dead: Set[int] = set()
+        #: sid -> True when the shard died via :meth:`crash` (its router
+        #: plumbing is still attached and must be detached on failover).
+        self._undetected: Dict[int, bool] = {}
+        self._kills = 0
+        self._restores = 0
+        # Let the cluster's stats plane find us (server_stats exposes
+        # the bounded history + totals under "failover").
+        cluster.supervisor = self
 
     def _require_journaled(self, sid: int) -> None:
         server = self.cluster.shards.get(sid)
@@ -51,19 +81,53 @@ class ShardSupervisor:
         router plumbing.  The cluster keeps serving — the dead shard's
         partials go stale (snapshot gathers fall back to them) until
         :meth:`restore`."""
+        if sid in self._dead:
+            raise ReproError(f"shard {sid} is already down")
         self._require_journaled(sid)
         server = self.cluster.shards[sid]
         await self.cluster._detach_shard(sid)
         await server.close(final_snapshot=False)
+        self._dead.add(sid)
+        self._undetected[sid] = False
+        self._kills += 1
+
+    async def crash(self, sid: int) -> None:
+        """Kill one shard *without telling the router*: the server dies
+        (``closed`` — it refuses every further connection) but the
+        router's upstream/trunk streams keep pointing at the corpse.
+        Only the health monitor's heartbeat deadline can notice; this is
+        the failure shape the self-healing tentpole exists for."""
+        if sid in self._dead:
+            raise ReproError(f"shard {sid} is already down")
+        self._require_journaled(sid)
+        server = self.cluster.shards[sid]
+        await server.close(final_snapshot=False)
+        self._dead.add(sid)
+        self._undetected[sid] = True
+        self._kills += 1
 
     async def restore(self, sid: int) -> Dict[str, Any]:
-        """Rebuild shard *sid* from its journal and re-attach it."""
+        """Rebuild shard *sid* from its journal and re-attach it.
+
+        Idempotence guard: restoring a shard that is not down (never
+        killed, or already restored) raises a clear :class:`ReproError`
+        instead of silently double-building a second live server for
+        the same journal directory."""
+        if sid not in self._dead:
+            if sid in self.cluster.shards:
+                raise ReproError(
+                    f"shard {sid} is alive; refusing to restore over a "
+                    "live shard (double restore?)")
+            raise ReproError(f"unknown shard {sid}")
         if self.cluster.make_shard is None:  # pragma: no cover - guarded in init
             raise ReproError("no shard factory")
         started = self.wall_clock()
         server = self.cluster.make_shard(sid)
         recovery = server.restore()
         await self.cluster.reattach_shard(sid, server)
+        self._dead.discard(sid)
+        self._undetected.pop(sid, None)
+        self._restores += 1
         record: Dict[str, Any] = {
             "shard": sid,
             "recovery_seconds": self.wall_clock() - started,
@@ -83,3 +147,37 @@ class ShardSupervisor:
         record = await self.restore(sid)
         record["failover_seconds"] = self.wall_clock() - started
         return record
+
+    async def fail_over(self, sid: int) -> Dict[str, Any]:
+        """Heal one down-or-unresponsive shard, however it died.
+
+        The health monitor's action path: a :meth:`crash`-style corpse
+        still has router plumbing attached — detach it first — while a
+        live-but-suspected shard goes through a clean :meth:`kill`.
+        Either way the shard is then journal-restored and re-attached
+        (which probes the sources for resync)."""
+        started = self.wall_clock()
+        if sid in self._dead:
+            if self._undetected.get(sid):
+                # The router still holds streams into the corpse; tear
+                # them down before rebuilding.
+                await self.cluster._detach_shard(sid)
+                self._undetected[sid] = False
+        else:
+            await self.kill(sid)
+        record = await self.restore(sid)
+        record["failover_seconds"] = self.wall_clock() - started
+        return record
+
+    def is_down(self, sid: int) -> bool:
+        return sid in self._dead
+
+    def stats(self) -> Dict[str, Any]:
+        """Totals plus the bounded recovery tail (for ``server_stats``)."""
+        return {
+            "kills": self._kills,
+            "restores": self._restores,
+            "down_shards": sorted(self._dead),
+            "history_limit": RECOVERY_HISTORY_LIMIT,
+            "recoveries": [dict(record) for record in self.recoveries],
+        }

@@ -173,6 +173,12 @@ class CoordinatorCore:
             name: float(initial_values[name])
             for q in self.queries for name in q.variables
         }
+        #: Items adopted after construction (live resharding hand-offs):
+        #: item -> owning source id (or None).  Persisted in
+        #: :meth:`recovery_state` and replayed *before* dynamic queries so
+        #: a restored shard can re-register sub-queries over migrated
+        #: items it was not built with.
+        self._adopted_items: Dict[str, Optional[int]] = {}
         self.plans: Dict[str, DABAssignment] = {}
         self.last_user_values: Dict[str, float] = {}
         self._last_sent_bounds: Dict[str, float] = {}
@@ -199,6 +205,12 @@ class CoordinatorCore:
         #: :meth:`recovery_state` so dynamically-registered queries
         #: survive a snapshot + kill -9 restart.
         self.dynamic_names: set = set()
+        #: Names of *static* (construction-time) queries later removed by
+        #: :meth:`remove_query`.  A restore rebuilds the original static
+        #: bank, so the snapshot must say which of those queries no longer
+        #: exist — otherwise a resharded coordinator restores with the
+        #: pre-migration sub-query shadowing its re-decomposed replacement.
+        self._removed_queries: set = set()
 
         self.item_index: Dict[str, List[PolynomialQuery]] = {}
         for query in self.queries:
@@ -558,6 +570,38 @@ class CoordinatorCore:
             self.journal.append(record)
         self.metrics.record_refresh()
 
+    def adopt_item(self, item: str, value: float,
+                   source_id: Optional[int] = None,
+                   seq: Optional[int] = None) -> None:
+        """Take ownership of *item* mid-flight (live resharding hand-off).
+
+        Seeds the cache with the value transferred from the previous
+        owner so a subsequent :meth:`add_query` over the item passes its
+        unknown-variable check; power-table slots are registered by that
+        bank edit, so a fresh item needs no vector surgery here.  ``seq``
+        is the previous owner's accepted refresh high-water mark — it
+        rides the journal record so a replayed shard restores the same
+        dedup floor the live one was handed.
+        """
+        fresh = item not in self.cache
+        self.cache[item] = float(value)
+        if not fresh and self._vectorize:
+            # Already-known items (a mirror of a cross-shard term) may
+            # have live power-table slots to refresh.
+            self._power_table.update(self._power_vector, item, self.cache[item])
+        if source_id is not None:
+            self.item_to_source[item] = int(source_id)
+        self._adopted_items[item] = (int(source_id)
+                                     if source_id is not None else None)
+        if self.journal is not None:
+            record: Dict[str, object] = {"t": "adopt", "item": item,
+                                         "value": self.cache[item]}
+            if source_id is not None:
+                record["source"] = int(source_id)
+            if seq is not None:
+                record["seq"] = int(seq)
+            self.journal.append(record)
+
     def react_to_refresh(self, item: str) -> Tuple[List[Tuple[str, float]], bool]:
         """Notify users and recompute plans after ``item`` refreshed.
 
@@ -814,6 +858,10 @@ class CoordinatorCore:
         self.queries[position] = moved
         self.queries.pop()
         self.query_names.discard(name)
+        if name not in self.dynamic_names:
+            # Removing a static query must survive a snapshot restore,
+            # which rebuilds the original static bank.
+            self._removed_queries.add(name)
         self.dynamic_names.discard(name)
         for item in query.variables:
             bucket = self.item_index.get(item)
@@ -825,6 +873,13 @@ class CoordinatorCore:
         self.last_user_values.pop(name, None)
         self._window_state.pop(name, None)
         self._breaker_plans.pop(name, None)
+        # The name may be re-registered later with a different shape or
+        # budget (live resharding re-adds a re-decomposed sub-query under
+        # the same name) — stale per-name planner caches (compiled
+        # templates, warm starts, value-keyed plans) must not survive.
+        forget = getattr(self.planner, "forget_query", None)
+        if forget is not None:
+            forget(name)
         if self._vectorize:
             del self._bank_index[name]
             self._compiled.pop(name, None)
@@ -943,6 +998,18 @@ class CoordinatorCore:
                 sorted((q for q in self.queries
                         if q.name in self.dynamic_names),
                        key=lambda q: q.name)]
+        if self._adopted_items:
+            # Only when a reshard handed this shard new items — static
+            # clusters' snapshots stay byte-identical to the old format.
+            state["adopted_items"] = {
+                item: self._adopted_items[item]
+                for item in sorted(self._adopted_items)}
+        if self._removed_queries:
+            # Static queries removed at runtime (live resharding): the
+            # restore path rebuilds the original bank and must drop
+            # these again, or a re-added same-named dynamic sub-query
+            # is shadowed by its stale pre-migration shape.
+            state["removed_queries"] = sorted(self._removed_queries)
         return state
 
     def restore_recovery_state(self, state: Mapping[str, object]) -> None:
@@ -950,13 +1017,38 @@ class CoordinatorCore:
         from repro.service.journal import plan_from_wire
         from repro.service.protocol import query_from_wire
 
-        # Dynamic queries first: the plans/user values below may belong
+        # Adopted items first: dynamic queries registered after a
+        # reshard may read migrated items this core was not built with,
+        # and add_query refuses unknown variables.  The placeholder 0.0
+        # is immediately overwritten by the cache loop below.
+        for item, source in (state.get("adopted_items") or {}).items():
+            if item not in self.cache:
+                self.adopt_item(item, 0.0, source_id=source)
+            elif source is not None:
+                self.item_to_source[item] = int(source)
+        # Dynamic queries next: the plans/user values below may belong
         # to them.  (No journal is attached yet on the restore path, so
-        # these re-registrations are not re-journaled.)
-        for wire in state.get("dynamic_queries", ()):
-            query = query_from_wire(wire)
+        # these re-registrations are not re-journaled.)  Non-colliding
+        # names go first so the static removals below can never empty
+        # the bank; a dynamic query whose name collides with a static
+        # one is its post-migration replacement and is re-added right
+        # after the stale static version is dropped.
+        dynamic = [query_from_wire(wire)
+                   for wire in state.get("dynamic_queries", ())]
+        replacements = {q.name: q for q in dynamic}
+        for query in dynamic:
             if query.name not in self.query_names:
                 self.add_query(query, plan=False)
+        for name in state.get("removed_queries", ()):
+            name = str(name)
+            # Keep the tombstone so the *next* snapshot cut from this
+            # core records the removal too.
+            self._removed_queries.add(name)
+            if name in self.query_names and name not in self.dynamic_names:
+                self.remove_query(name)
+                replacement = replacements.get(name)
+                if replacement is not None:
+                    self.add_query(replacement, plan=False)
         for item, value in state["cache"].items():
             self.restore_cache_value(item, float(value))
         self.epochs = {name: int(epoch)

@@ -184,8 +184,14 @@ _REQUIRED: Dict[MessageType, Dict[str, Callable[[object], bool]]] = {
 
 #: Optional fields that are still shape-checked when present.
 _OPTIONAL: Dict[MessageType, Dict[str, Callable[[object], bool]]] = {
+    # ``map_epoch`` fences a frame against the shard map that produced
+    # it: after a live reshard bumps the cluster's map epoch, frames
+    # stamped with an older epoch are rejected instead of applied, so a
+    # lagging shard (or a buffered frame from before the cutover) can
+    # never act on an item it no longer owns.  Absent everywhere until
+    # the first rebalance — pre-reshard traffic stays byte-identical.
     MessageType.REFRESH: {"resync": lambda v: isinstance(v, bool),
-                          "sent_at": _is_number},
+                          "sent_at": _is_number, "map_epoch": _is_int},
     # ``msg_id`` asks the source to DAB_ACK (reliable delivery under
     # chaos); ``probe`` asks it to immediately resend the listed items'
     # current values (the lease-expiry recovery path).
@@ -198,8 +204,10 @@ _OPTIONAL: Dict[MessageType, Dict[str, Callable[[object], bool]]] = {
     # cluster router can attribute partial aggregates without trusting
     # stream bookkeeping alone; single-node servers omit it.
     MessageType.NOTIFY: {"sent_at": _is_number, "refresh_sent_at": _is_number,
-                         "degraded": _is_number_map, "shard": _is_int},
-    MessageType.SNAPSHOT: {"degraded": _is_number_map, "shard": _is_int},
+                         "degraded": _is_number_map, "shard": _is_int,
+                         "map_epoch": _is_int},
+    MessageType.SNAPSHOT: {"degraded": _is_number_map, "shard": _is_int,
+                           "map_epoch": _is_int},
     # ``definitions`` lets a subscriber *register* queries it wants served
     # (the incremental bank-append path) instead of only naming existing
     # ones; each entry is ``{"name", "qab", "terms": [{"weight",
@@ -352,10 +360,13 @@ def register_source(source_id: int, items: Iterable[str]) -> Dict[str, Any]:
 
 def refresh(source_id: int, item: str, value: float, seq: int, *,
             resync: bool = False,
-            sent_at: Optional[float] = None) -> Dict[str, Any]:
+            sent_at: Optional[float] = None,
+            map_epoch: Optional[int] = None) -> Dict[str, Any]:
     return _message(MessageType.REFRESH, source_id=int(source_id), item=item,
                     value=float(value), seq=int(seq),
-                    resync=True if resync else None, sent_at=sent_at)
+                    resync=True if resync else None, sent_at=sent_at,
+                    map_epoch=int(map_epoch) if map_epoch is not None
+                    else None)
 
 
 def dab_update(source_id: int, bounds: Mapping[str, float],
@@ -450,7 +461,8 @@ def notify(updates: Sequence[Mapping[str, Any]], *,
            sent_at: Optional[float] = None,
            refresh_sent_at: Optional[float] = None,
            degraded: Optional[Mapping[str, float]] = None,
-           shard: Optional[int] = None) -> Dict[str, Any]:
+           shard: Optional[int] = None,
+           map_epoch: Optional[int] = None) -> Dict[str, Any]:
     """Batched query-value updates: ``[{"query", "value"}, ...]``.
 
     ``refresh_sent_at`` echoes the triggering refresh's ``sent_at`` so a
@@ -458,23 +470,30 @@ def notify(updates: Sequence[Mapping[str, Any]], *,
     ``degraded`` maps query names to honestly-widened accuracy bounds
     while their inputs are lease-expired; ``{}`` clears the flag.
     ``shard`` marks the values as one shard's *partial aggregates* in a
-    cluster (absent from single-node servers).
+    cluster (absent from single-node servers); ``map_epoch`` stamps the
+    shard-map epoch the emitter holds so routers can fence frames from
+    before a reshard cutover.
     """
     return _message(MessageType.NOTIFY, updates=list(updates),
                     sent_at=sent_at, refresh_sent_at=refresh_sent_at,
                     degraded=dict(degraded) if degraded is not None else None,
-                    shard=int(shard) if shard is not None else None)
+                    shard=int(shard) if shard is not None else None,
+                    map_epoch=int(map_epoch) if map_epoch is not None
+                    else None)
 
 
 def snapshot(values: Optional[Mapping[str, float]] = None,
              stats: Optional[Mapping[str, Any]] = None,
              degraded: Optional[Mapping[str, float]] = None,
-             shard: Optional[int] = None) -> Dict[str, Any]:
+             shard: Optional[int] = None,
+             map_epoch: Optional[int] = None) -> Dict[str, Any]:
     """Request form (no ``values``) or response form (with them)."""
     return _message(MessageType.SNAPSHOT, values=dict(values) if values is not None else None,
                     stats=dict(stats) if stats is not None else None,
                     degraded=dict(degraded) if degraded is not None else None,
-                    shard=int(shard) if shard is not None else None)
+                    shard=int(shard) if shard is not None else None,
+                    map_epoch=int(map_epoch) if map_epoch is not None
+                    else None)
 
 
 def error(reason: str) -> Dict[str, Any]:

@@ -184,12 +184,26 @@ class CoordinatorServer:
         #: is the whole deployment); stamped on NOTIFY/SNAPSHOT frames so
         #: the router can attribute partial aggregates.
         self.shard_id = int(shard_id) if shard_id is not None else None
+        #: The newest shard-map epoch this coordinator has been told
+        #: about (``None`` until a cluster reshard happens — all frames
+        #: then stay byte-identical to the pre-resharding protocol).
+        #: Refreshes stamped with an older epoch are fenced off: after a
+        #: migration cutover, a buffered or in-flight frame routed under
+        #: the old map must not land on an item this shard no longer
+        #: owns (or owns again under different budgets).
+        self.map_epoch: Optional[int] = None
+        #: True once :meth:`close` ran.  A closed server refuses new
+        #: connections — this is what makes a supervisor-`crash()`ed
+        #: shard behave like a dead process instead of a still-answering
+        #: zombie behind the router's stale plumbing.
+        self.closed = False
         #: ``(host, port)`` once :meth:`serve_tcp` binds; ``None`` for
         #: loopback-only embeddings.
         self.listen_address: Optional[Tuple[str, int]] = None
         self.stats = {
             "refreshes_accepted": 0,
             "refreshes_rejected_stale_seq": 0,
+            "refreshes_rejected_stale_map_epoch": 0,
             "notifies_sent": 0,
             "dab_updates_sent": 0,
             "slow_consumer_evictions": 0,
@@ -242,6 +256,12 @@ class CoordinatorServer:
     def adopt_connection(self, server_end: MessageStream) -> None:
         """Serve an externally-built stream (a chaos-wrapped loopback
         end, for instance) on this server."""
+        if self.closed:
+            # A dead process cannot accept sockets; a crashed in-process
+            # shard must not either, or failover tests would be talking
+            # to a zombie.
+            server_end.close()
+            return
         task = asyncio.ensure_future(self.handle_connection(server_end))
         self._handler_tasks.add(task)
         task.add_done_callback(self._handler_tasks.discard)
@@ -258,6 +278,7 @@ class CoordinatorServer:
         journal handle is dropped with no parting snapshot, so the next
         start must recover from the WAL tail alone (every append is
         unbuffered, so nothing accepted before the kill is lost)."""
+        self.closed = True
         if self.journal is not None and self._journal_attached:
             self.core.journal = None
             self._journal_attached = False
@@ -301,13 +322,18 @@ class CoordinatorServer:
         Outstanding DAB retries and the message-id counter are *not*
         persisted — re-registration re-programs every bound, superseding
         them (the same guarantee a source reconnect leans on)."""
+        server_state: Dict[str, Any] = {
+            "last_seq": dict(self.last_seq),
+            "suspect_since": dict(self.suspect_since),
+            "item_last_heard": dict(self._item_last_heard),
+        }
+        if self.map_epoch is not None:
+            # Only once a reshard happened — pre-resharding snapshots
+            # stay byte-identical to the old format.
+            server_state["map_epoch"] = self.map_epoch
         return {
             "core": self.core.recovery_state(),
-            "server": {
-                "last_seq": dict(self.last_seq),
-                "suspect_since": dict(self.suspect_since),
-                "item_last_heard": dict(self._item_last_heard),
-            },
+            "server": server_state,
         }
 
     def _restore_snapshot_state(self, state: Mapping[str, Any]) -> None:
@@ -322,6 +348,8 @@ class CoordinatorServer:
                 self.suspect_since[str(name)] = float(since)
             for name, at in (server_state.get("item_last_heard") or {}).items():
                 self._item_last_heard[str(name)] = float(at)
+            if server_state.get("map_epoch") is not None:
+                self.advance_map_epoch(int(server_state["map_epoch"]))
 
     def _replay_record(self, record: Mapping[str, Any]) -> None:
         """Apply one journal record directly to state — no metrics, no
@@ -360,6 +388,17 @@ class CoordinatorServer:
             name = str(record["name"])
             if name in self.core.query_names:
                 self.core.remove_query(name)
+        elif kind == "adopt":
+            # A live reshard handed this shard an item mid-flight; the
+            # record carries the transferred value, owning source and the
+            # previous owner's seq high-water mark so replay restores the
+            # same dedup floor the live hand-off installed.
+            item = str(record["item"])
+            seq = record.get("seq")
+            if seq is not None:
+                self.last_seq[item] = max(self.last_seq.get(item, 0), int(seq))
+            self.core.adopt_item(item, float(record["value"]),
+                                 source_id=record.get("source"))
         else:
             raise JournalError(f"unknown journal record type {kind!r}")
 
@@ -431,6 +470,34 @@ class CoordinatorServer:
         if force or (self.journal.records_since_snapshot
                      >= self.journal.snapshot_every):
             self.journal.write_snapshot(self._recovery_state())
+
+    # -- resharding ------------------------------------------------------------------
+
+    def advance_map_epoch(self, epoch: Optional[int]) -> None:
+        """Adopt a newer shard-map epoch (monotone; older ones ignored).
+
+        Called by the cluster's migrator at each cutover and by the
+        router when it reattaches a restored shard, so every live shard
+        fences refreshes against the newest map it has seen."""
+        if epoch is None:
+            return
+        epoch = int(epoch)
+        if self.map_epoch is None or epoch > self.map_epoch:
+            self.map_epoch = epoch
+
+    def adopt_item(self, item: str, value: float, source_id: Optional[int],
+                   seq_floor: int = 0) -> None:
+        """Accept ownership of *item* from another shard (live reshard).
+
+        ``seq_floor`` is the previous owner's accepted refresh seq
+        high-water mark: installing it keeps the dedup guard monotone
+        across the hand-off, so a duplicate of an old refresh replayed
+        at the new owner is still rejected."""
+        if seq_floor:
+            self.last_seq[item] = max(self.last_seq.get(item, 0),
+                                      int(seq_floor))
+        self.core.adopt_item(item, float(value), source_id=source_id,
+                             seq=int(seq_floor) if seq_floor else None)
 
     # -- connection handling -------------------------------------------------------
 
@@ -540,6 +607,18 @@ class CoordinatorServer:
     async def _on_refresh(self, stream: MessageStream,
                           message: Dict[str, Any]) -> None:
         item = message["item"]
+        frame_epoch = message.get("map_epoch")
+        if self.map_epoch is not None and (frame_epoch or 0) < self.map_epoch:
+            # Epoch fence: this frame was routed under an older shard
+            # map.  Applying it could double-own an item mid-migration
+            # (the new owner already has a fresher hand-off value), so
+            # it is dropped — the router re-sends under the new map.
+            self.stats["refreshes_rejected_stale_map_epoch"] += 1
+            return
+        if frame_epoch is not None:
+            # A frame from the future means we missed a cutover
+            # broadcast (e.g. restored from an old snapshot): converge.
+            self.advance_map_epoch(frame_epoch)
         if item not in self.core.cache:
             self.metrics.record_misrouted_bounds()
             return
@@ -791,6 +870,7 @@ class CoordinatorServer:
         for sub in list(self._subscribers.values()):
             message = protocol.notify(
                 [], sent_at=self.clock(), shard=self.shard_id,
+                map_epoch=self.map_epoch,
                 degraded={name: bound for name, bound in degraded.items()
                           if sub.wants(name)})
             try:
@@ -903,7 +983,8 @@ class CoordinatorServer:
         else:
             degraded = None
         return protocol.snapshot(values=values, stats=self.server_stats(),
-                                 degraded=degraded, shard=self.shard_id)
+                                 degraded=degraded, shard=self.shard_id,
+                                 map_epoch=self.map_epoch)
 
     def _fanout_notifications(self, notifications: List[Tuple[str, float]],
                               refresh_sent_at: Optional[float]) -> None:
@@ -920,7 +1001,7 @@ class CoordinatorServer:
                 continue
             message = protocol.notify(
                 updates, sent_at=now, refresh_sent_at=refresh_sent_at,
-                shard=self.shard_id,
+                shard=self.shard_id, map_epoch=self.map_epoch,
                 degraded=None if degraded is None else
                 {name: bound for name, bound in degraded.items()
                  if sub.wants(name)})
@@ -992,6 +1073,8 @@ class CoordinatorServer:
         stats["duplicate_rejects"] = self.metrics.duplicate_rejects
         stats["queries"] = len(self.core.queries)
         stats["items"] = len(self.core.cache)
+        if self.map_epoch is not None:
+            stats["map_epoch"] = self.map_epoch
         if self.lease_duration is not None:
             stats["suspect_items"] = len(self.suspect_since)
             stats["degraded_queries"] = len(self._degraded_keys)

@@ -103,11 +103,30 @@ _NAMED_SCHEDULES = {
         partitions=(PartitionWindow(20.0, 22.0),),
         crash_windows=(CrashWindow(0, 13.0, 17.0),),
         seed=seed), 30),
+    # The self-healing profile: shard kills are *undetected* crashes
+    # (the router's plumbing keeps pointing at the corpse) healed only
+    # by the heartbeat failure detector, while a live resharding
+    # migration runs concurrently — the kills land mid-migration.
+    # Requires ``run_chaos_soak(shards=N)``.
+    "reshard": (lambda seed: FaultSchedule(
+        drop_rate=0.25, loss_windows=(PartitionWindow(4.0, 7.0),),
+        duplicate_rate=0.05,
+        partitions=(PartitionWindow(27.0, 29.0),),
+        crash_windows=(CrashWindow(0, 20.0, 24.0),),
+        seed=seed), 34),
 }
 
 #: default coordinator-kill steps per schedule (used when the caller
-#: journals the run but does not pick kill steps explicitly).
-_DEFAULT_KILL_STEPS = {"restart": (9, 24), "shards": (9, 24)}
+#: journals the run but does not pick kill steps explicitly).  The
+#: ``reshard`` kills straddle the migration started at
+#: ``_RESHARD_MIGRATE_STEP`` so the first crash lands mid-move.
+_DEFAULT_KILL_STEPS = {"restart": (9, 24), "shards": (9, 24),
+                       "reshard": (13, 24)}
+
+#: step at which the ``reshard`` profile starts its live migration
+#: (freeze tick; the cutover tick follows one step later, so the
+#: default first kill at step 13 hits an item mid-flight).
+_RESHARD_MIGRATE_STEP = 12
 
 
 def named_schedule(name: str, seed: int = 1) -> Tuple[FaultSchedule, int]:
@@ -119,6 +138,28 @@ def named_schedule(name: str, seed: int = 1) -> Tuple[FaultSchedule, int]:
             f"unknown chaos schedule {name!r}; "
             f"pick one of {sorted(_NAMED_SCHEDULES)}") from None
     return build(seed), steps
+
+
+def _plan_reshard_moves(cluster: Any, count: int = 2) -> Dict[str, int]:
+    """Deterministic migration plan for the ``reshard`` soak: the first
+    *count* items (sorted) each move to the active shard after their
+    current owner in rotation — guaranteed real moves, same plan for the
+    same seed/scenario."""
+    active = list(cluster.decomposition.active_shards)
+    moves: Dict[str, int] = {}
+    if len(active) < 2:
+        return moves
+    for item in sorted(cluster._item_shards):
+        owner = cluster.shard_map.shard_of(item)
+        if owner not in active:
+            continue
+        target = active[(active.index(owner) + 1) % len(active)]
+        if target == owner:
+            continue
+        moves[item] = target
+        if len(moves) >= count:
+            break
+    return moves
 
 
 class _StepClock:
@@ -149,6 +190,8 @@ async def _run_async(
     server_factory: Optional[Callable[[], Any]] = None,
     kill_steps: Sequence[int] = (),
     kill_handler: Optional[Callable[[int], Any]] = None,
+    step_hook: Optional[Callable[[int], Any]] = None,
+    hold_tail: Optional[Callable[[], bool]] = None,
 ) -> Dict[str, Any]:
     # A cluster front-end must attach its shards before anything
     # connects; the single server has no such hook.
@@ -310,9 +353,14 @@ async def _run_async(
                 # Cluster mode: the handler fails over one shard (kill,
                 # journal-restore, reattach, probe resync); agents and
                 # the auditor stay attached to the router throughout.
-                recovery = dict(await kill_handler(step))
-                recovery["step"] = step
-                restarts.append(recovery)
+                # A handler may also return None — an *undetected* crash
+                # whose recovery record arrives later through the health
+                # monitor's step hook.
+                recovery = await kill_handler(step)
+                if recovery is not None:
+                    recovery = dict(recovery)
+                    recovery["step"] = step
+                    restarts.append(recovery)
                 fault_steps.add(step)
                 await _drain()
             else:
@@ -362,6 +410,22 @@ async def _run_async(
         await server.check_retries()
         await _drain()
 
+        if step_hook is not None:
+            # Self-healing machinery runs *inside* the step, after the
+            # traffic settles: the health monitor polls its heartbeat
+            # deadlines and the migrator advances one phase.  Failovers
+            # and cutovers silence/redirect the wire like a fault burst,
+            # so the hook reports them and audits hold off for a margin.
+            hook = await step_hook(step)
+            if hook:
+                if hook.get("fault"):
+                    fault_steps.add(step)
+                for record in hook.get("restarts") or ():
+                    record = dict(record)
+                    record["step"] = step
+                    restarts.append(record)
+            await _drain()
+
         refreshes_per_step.append(
             float(server.stats["refreshes_accepted"] - before))
         _note_faults()
@@ -382,6 +446,10 @@ async def _run_async(
     for step in range(last, last + tail_budget):
         await _step(step, "recovery")
         tail_end = step
+        if hold_tail is not None and hold_tail():
+            # A migration is still mid-flight (or a failover pending):
+            # keep stepping so it completes inside the bounded tail.
+            continue
         if not server.suspect_since and not server._outstanding_dabs:
             break
     _track_degraded(tail_end + 1)              # close still-open episodes
@@ -479,7 +547,8 @@ def run_chaos_soak(
     """Run the chaos soak; returns (and optionally writes) the report.
 
     ``schedule`` is a profile name (``smoke``/``ci``/``heavy``/
-    ``restart``/``shards``) or a custom :class:`FaultSchedule`;
+    ``restart``/``shards``/``reshard``) or a custom
+    :class:`FaultSchedule`;
     ``steps`` defaults to the profile's budget.  ``lease_duration`` is
     in logical steps.  ``journal_dir`` journals the coordinator and
     enables ``kill_steps``: at each listed step the server is dropped
@@ -502,6 +571,10 @@ def run_chaos_soak(
     else:
         schedule_name = "custom"
         steps = steps if steps is not None else 40
+    if schedule_name == "reshard" and shards <= 1:
+        raise ReproError(
+            "the reshard schedule exercises live cross-shard migration; "
+            "run it with shards > 1")
     if kill_steps is None:
         kill_steps = _DEFAULT_KILL_STEPS.get(schedule_name, ())
     if kill_steps and journal_dir is None:
@@ -528,16 +601,60 @@ def run_chaos_soak(
             solver_breaker_factory=lambda sid: CircuitBreaker(
                 failure_threshold=3, reset_timeout=6.0, clock=clock),
         )
+        reshard = schedule_name == "reshard"
         kill_handler = None
-        if kill_steps:
+        supervisor = None
+        if kill_steps or reshard:
             supervisor = ShardSupervisor(cluster)
             active = list(cluster.decomposition.active_shards)
             rotation = {"next": 0}
 
-            async def kill_handler(step: int) -> Dict[str, Any]:
-                sid = active[rotation["next"] % len(active)]
-                rotation["next"] += 1
-                return await supervisor.kill_and_restore(sid)
+            if reshard:
+                async def kill_handler(step: int) -> None:
+                    # Undetected crash: the router's plumbing keeps
+                    # pointing at the corpse, and only the health
+                    # monitor's heartbeat deadline brings the shard
+                    # back — its recovery record arrives via step_hook.
+                    sid = active[rotation["next"] % len(active)]
+                    rotation["next"] += 1
+                    await supervisor.crash(sid)
+                    return None
+            else:
+                async def kill_handler(step: int) -> Dict[str, Any]:
+                    sid = active[rotation["next"] % len(active)]
+                    rotation["next"] += 1
+                    return await supervisor.kill_and_restore(sid)
+            if not kill_steps:
+                kill_handler = None
+
+        monitor = None
+        migrator = None
+        step_hook = None
+        hold_tail = None
+        if reshard:
+            from repro.service.cluster.health import ShardHealthMonitor
+            from repro.service.cluster.migration import ShardMigrator
+
+            monitor = ShardHealthMonitor(cluster, supervisor, clock=clock,
+                                         deadline=2.0, max_misses=2)
+            migrator = ShardMigrator(cluster, clock=clock)
+
+            async def step_hook(step: int) -> Dict[str, Any]:
+                result: Dict[str, Any] = {"fault": False, "restarts": []}
+                if step == _RESHARD_MIGRATE_STEP:
+                    migrator.start(_plan_reshard_moves(cluster))
+                record = await migrator.tick()
+                if record is not None:
+                    # Cutover: the map epoch bumped and buffered
+                    # refreshes just flushed — hold audits for a margin.
+                    result["fault"] = True
+                for failover in await monitor.poll():
+                    result["restarts"].append(failover)
+                    result["fault"] = True
+                return result
+
+            def hold_tail() -> bool:
+                return migrator.active or bool(monitor.suspected_at)
 
         injector = FaultInjector(schedule)
         report = asyncio.run(_run_async(
@@ -546,6 +663,7 @@ def run_chaos_soak(
             injector=injector, clock=clock, steps=steps,
             audit_margin=audit_margin, register_timeout=register_timeout,
             kill_steps=kill_steps, kill_handler=kill_handler,
+            step_hook=step_hook, hold_tail=hold_tail,
         ))
         report["shards"] = shards
         report["active_shards"] = list(cluster.decomposition.active_shards)
@@ -563,8 +681,45 @@ def run_chaos_soak(
             report["journal_dir"] = str(journal_dir)
             report["coordinator_recovery"]["kill_steps"] = sorted(
                 int(s) for s in kill_steps)
-        report["passed"] = (report["qab_violations_unexcused"] == 0
-                            and not report["final_degraded_queries"])
+        if reshard:
+            completed = [r for r in migrator.records
+                         if r.get("outcome") == "completed"]
+            shard_fenced = sum(
+                srv.stats.get("refreshes_rejected_stale_map_epoch", 0)
+                for srv in cluster.shards.values())
+            health = monitor.stats_snapshot()
+            report["resharding"] = {
+                "migrations": [dict(r) for r in migrator.records],
+                "moves_requested": migrator.stats["moves_requested"],
+                "moves_completed": migrator.stats["moves_completed"],
+                "moves_abandoned": migrator.stats["moves_abandoned"],
+                "deferrals": migrator.stats["deferrals"],
+                "flushed_refreshes": sum(
+                    r.get("flushed_refreshes", 0) for r in completed),
+                "migration_steps": latency_percentiles(
+                    [r["migration_steps"] for r in completed],
+                    (50.0, 95.0)),
+                "migration_ms": latency_percentiles(
+                    [r["migration_seconds"] * 1000.0 for r in completed],
+                    (50.0, 95.0, 99.0)),
+                "final_map_epoch": cluster.map_epoch,
+                "frames_rejected_by_fencing": {
+                    "router": cluster.stats["fenced_frames_rejected"],
+                    "shards": shard_fenced,
+                },
+                "refreshes_frozen": cluster.stats["refreshes_frozen"],
+                "health": health,
+                "failovers": health["failovers"],
+                "detection_to_recovery_steps": latency_percentiles(
+                    [e["detection_to_recovery"] for e in monitor.events],
+                    (50.0, 95.0)),
+            }
+        report["passed"] = (
+            report["qab_violations_unexcused"] == 0
+            and not report["final_degraded_queries"]
+            and (not reshard
+                 or (migrator.stats["moves_abandoned"] == 0
+                     and not migrator.active)))
         if output:
             path = Path(output)
             path.parent.mkdir(parents=True, exist_ok=True)

@@ -65,7 +65,7 @@ class TestShardFailover:
             assert record["records_replayed"] > 0
             assert record["recovery_seconds"] >= 0.0
             assert record["failover_seconds"] >= record["recovery_seconds"]
-            assert supervisor.recoveries == [record]
+            assert list(supervisor.recoveries) == [record]
             assert cluster.stats["shard_reattachments"] == 1
 
             # The restored shard keeps accepting routed refreshes and the
